@@ -1,0 +1,105 @@
+"""Shared infrastructure for the per-figure/table benchmarks.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation: it runs the relevant experiment(s) on the simulator, prints
+the same rows/series the paper reports, and asserts the qualitative
+shape (who wins, roughly by how much).  Absolute numbers are simulated
+microseconds, not the authors' testbed — see DESIGN.md §1.
+
+Runs are cached per-process by their full configuration, so benchmarks
+that share baselines (e.g. Figs. 4 and 5 use the same co-run) reuse them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import fields
+from typing import Dict, Iterable, List, Tuple
+
+from repro.harness import ExperimentConfig, ExperimentResult, run_experiment
+
+#: Scale knob for all benchmarks (working sets & access counts).
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+NATIVES = ["snappy", "memcached", "xgboost"]
+#: The four managed applications Fig. 10/11/12 pair with the natives.
+MANAGED_FOUR = ["spark_lr", "spark_km", "cassandra", "neo4j"]
+#: All eleven managed applications (Table 3).
+MANAGED_ELEVEN = [
+    "cassandra",
+    "neo4j",
+    "spark_pr",
+    "spark_km",
+    "spark_lr",
+    "spark_sg",
+    "spark_tc",
+    "mllib_bc",
+    "graphx_cc",
+    "graphx_pr",
+    "graphx_sp",
+]
+
+_CACHE: Dict[tuple, ExperimentResult] = {}
+
+
+def _freeze(value):
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, set)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _config_key(config: ExperimentConfig) -> tuple:
+    return tuple((f.name, _freeze(getattr(config, f.name))) for f in fields(config))
+
+
+def run_cached(workloads: Iterable[str], config: ExperimentConfig) -> ExperimentResult:
+    """Run (or reuse) an experiment for this workload set + config."""
+    key = (tuple(workloads), _config_key(config))
+    result = _CACHE.get(key)
+    if result is None:
+        result = run_experiment(list(workloads), config)
+        _CACHE[key] = result
+    return result
+
+
+def config(system: str = "linux", **kwargs) -> ExperimentConfig:
+    kwargs.setdefault("scale", BENCH_SCALE)
+    return ExperimentConfig(system=system, **kwargs)
+
+
+def solo_times(
+    names: Iterable[str], base_config: ExperimentConfig
+) -> Dict[str, float]:
+    """Individual-run completion times, one experiment per app."""
+    times = {}
+    for name in names:
+        result = run_cached([name], base_config)
+        times[name] = result.completion_time(name)
+    return times
+
+
+def slowdowns(
+    corun: ExperimentResult, solo: Dict[str, float]
+) -> Dict[str, float]:
+    return {
+        name: corun.completion_time(name) / solo[name]
+        for name in corun.results
+        if name in solo
+    }
+
+
+def geometric_mean(values: List[float]) -> float:
+    import math
+
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 78)
+    print(title)
+    print("=" * 78)

@@ -1,0 +1,13 @@
+"""Benchmark session configuration.
+
+Benchmarks print the reproduced rows/series; ``-s`` (or pytest-benchmark's
+normal output capture) shows them.  All experiments are deterministic, so
+one round per benchmark is the meaningful measurement unit.
+"""
+
+import sys
+from pathlib import Path
+
+# Allow `from _common import ...` in benchmark modules when pytest is
+# invoked from the repository root.
+sys.path.insert(0, str(Path(__file__).parent))

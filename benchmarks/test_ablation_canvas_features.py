@@ -1,0 +1,70 @@
+"""Ablation: which Canvas layer buys what.
+
+Not a paper figure per se, but the synthesis of §6.3-6.4: starting from
+the Linux 5.5 co-run, add isolation, then each adaptive optimization,
+and report the managed app's and natives' slowdowns at each step.  The
+expected staircase: isolation does the heavy lifting (Fig. 11), adaptive
+allocation adds a further boost for multi-threaded managed apps
+(Fig. 12), and the full system is at least as good as any partial stack.
+"""
+
+from _common import NATIVES, config, geometric_mean, print_header, run_cached, solo_times
+from repro.metrics import format_table
+
+GROUP = NATIVES + ["spark_lr"]
+VARIANTS = [
+    ("linux 5.5", dict(system="linux")),
+    ("+ isolation", dict(system="canvas-iso")),
+    (
+        "+ adaptive alloc",
+        dict(
+            system="canvas",
+            adaptive_allocation=True,
+            two_tier_prefetch=False,
+            horizontal_scheduling=False,
+        ),
+    ),
+    (
+        "+ two-tier prefetch",
+        dict(
+            system="canvas",
+            adaptive_allocation=True,
+            two_tier_prefetch=True,
+            horizontal_scheduling=False,
+        ),
+    ),
+    ("+ 2D scheduling (full)", dict(system="canvas")),
+]
+
+
+def _run():
+    solo = solo_times(GROUP, config("linux"))
+    rows = {}
+    for label, overrides in VARIANTS:
+        result = run_cached(GROUP, config(**overrides))
+        rows[label] = {
+            name: result.completion_time(name) / solo[name] for name in GROUP
+        }
+    return rows
+
+
+def test_ablation_canvas_features(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Ablation: slowdown vs solo as Canvas layers stack up")
+    table = [
+        [label] + [slowdowns[name] for name in GROUP]
+        + [geometric_mean(list(slowdowns.values()))]
+        for label, slowdowns in rows.items()
+    ]
+    print(format_table(["variant"] + GROUP + ["geomean"], table))
+
+    geomeans = {
+        label: geometric_mean(list(slowdowns.values()))
+        for label, slowdowns in rows.items()
+    }
+    # Staircase: isolation is the big step; the full stack beats Linux
+    # by a wide margin and is not worse than isolation alone.
+    assert geomeans["+ isolation"] < geomeans["linux 5.5"] * 0.8
+    assert geomeans["+ 2D scheduling (full)"] < geomeans["linux 5.5"] * 0.7
+    assert geomeans["+ 2D scheduling (full)"] < geomeans["+ isolation"] * 1.1

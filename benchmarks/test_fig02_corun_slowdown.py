@@ -1,0 +1,48 @@
+"""Figure 2: slowdowns of co-running applications vs running individually.
+
+Paper: on Linux 5.5 with identical per-app CPU/memory limits, co-running
+the three native applications with Spark slows them ~3.9x overall and
+with Neo4j ~2.2x overall; Spark (high swap throughput, >90 threads)
+crowds out Memcached/XGBoost/Snappy far more than Neo4j (which holds its
+graph locally and swaps little).
+"""
+
+from _common import (
+    NATIVES,
+    config,
+    geometric_mean,
+    print_header,
+    run_cached,
+    slowdowns,
+    solo_times,
+)
+from repro.metrics import format_table
+
+
+def _run():
+    linux = config("linux")
+    solo = solo_times(NATIVES + ["spark_lr", "neo4j"], linux)
+    with_spark = slowdowns(run_cached(NATIVES + ["spark_lr"], linux), solo)
+    with_neo4j = slowdowns(run_cached(NATIVES + ["neo4j"], linux), solo)
+    return solo, with_spark, with_neo4j
+
+
+def test_fig02_corun_slowdown(benchmark):
+    solo, with_spark, with_neo4j = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Figure 2: co-run slowdown vs individual run (Linux 5.5)")
+    rows = [
+        [name, with_spark.get(name, float("nan")), with_neo4j.get(name, float("nan"))]
+        for name in NATIVES
+    ]
+    print(format_table(["program", "co-run w/ Spark (x)", "co-run w/ Neo4j (x)"], rows))
+    spark_overall = geometric_mean([with_spark[n] for n in NATIVES])
+    neo4j_overall = geometric_mean([with_neo4j[n] for n in NATIVES])
+    print(f"overall (geomean): spark={spark_overall:.2f}x  neo4j={neo4j_overall:.2f}x")
+    print("paper: ~3.9x with Spark, ~2.2x with Neo4j")
+
+    # Shape assertions: co-running hurts, and Spark hurts more than Neo4j.
+    for name in NATIVES:
+        assert with_spark[name] > 1.1, f"{name} should slow down beside Spark"
+    assert spark_overall > neo4j_overall, "Spark must interfere more than Neo4j"
+    assert spark_overall > 1.5

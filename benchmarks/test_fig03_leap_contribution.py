@@ -1,0 +1,50 @@
+"""Figure 3: Leap's prefetching contribution, individually vs co-running.
+
+Paper: the percentage of page faults served by Leap-prefetched pages
+drops dramatically when applications co-run, because Leap's majority
+vote runs over one shared fault window that interleaved applications
+pollute (e.g. co-running Spark with natives cuts Leap's contribution
+~3.19x).
+"""
+
+from _common import NATIVES, config, print_header, run_cached
+from repro.metrics import format_table
+
+SOLO_APPS = ["spark_lr", "spark_km", "cassandra", "neo4j", "xgboost", "snappy"]
+CORUN_GROUPS = {
+    "natives+spark_lr": NATIVES + ["spark_lr"],
+    "natives+spark_km": NATIVES + ["spark_km"],
+    "natives+cassandra": NATIVES + ["cassandra"],
+}
+
+
+def _run():
+    leap = config("linux", prefetcher="leap", bandwidth_scale=1.0)
+    solo_contrib = {}
+    for name in SOLO_APPS:
+        result = run_cached([name], leap)
+        solo_contrib[name] = result.results[name].prefetch_contribution
+    corun_contrib = {}
+    for label, group in CORUN_GROUPS.items():
+        result = run_cached(group, leap)
+        values = [result.results[n].prefetch_contribution for n in group]
+        corun_contrib[label] = sum(values) / len(values)
+    return solo_contrib, corun_contrib
+
+
+def test_fig03_leap_contribution(benchmark):
+    solo, corun = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Figure 3: Leap prefetching contribution (%), solo vs co-run")
+    rows = [[name, 100 * value] for name, value in solo.items()]
+    print(format_table(["program (individual)", "contribution %"], rows))
+    rows = [[label, 100 * value] for label, value in corun.items()]
+    print(format_table(["co-run group (average)", "contribution %"], rows))
+
+    solo_avg = sum(solo.values()) / len(solo)
+    corun_avg = sum(corun.values()) / len(corun)
+    print(f"solo average {100 * solo_avg:.1f}%  co-run average {100 * corun_avg:.1f}%"
+          f"  (ratio {solo_avg / max(corun_avg, 1e-9):.2f}x; paper ~3.19x for Spark)")
+
+    # Shape: co-running reduces Leap's contribution.
+    assert corun_avg < solo_avg

@@ -1,0 +1,58 @@
+"""Figure 5: RDMA swap-in bandwidth, individually vs together.
+
+Paper: the summed RDMA read bandwidth of Spark-LR + XGBoost + Snappy
+co-running on Linux 5.5 stays ~3.28x below the sum of their individual
+runs (locking, reduced prefetching, shared queues); writes degrade
+~2.80x.
+"""
+
+from _common import config, print_header, run_cached
+from repro.metrics import format_table
+
+APPS = ["spark_lr", "xgboost", "snappy"]
+
+
+def _bandwidths(result, name):
+    elapsed = result.apps[name].completion_time_us or result.elapsed_us
+    read = result.telemetry.read_bandwidth.mean_mbps(name, elapsed)
+    write = result.telemetry.write_bandwidth.mean_mbps(name, elapsed)
+    return read, write
+
+
+def _run():
+    linux = config("linux")
+    solo = {name: _bandwidths(run_cached([name], linux), name) for name in APPS}
+    corun_result = run_cached(APPS, linux)
+    corun = {name: _bandwidths(corun_result, name) for name in APPS}
+    return solo, corun
+
+
+def test_fig05_rdma_bandwidth(benchmark):
+    solo, corun = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Figure 5: RDMA swap-in bandwidth (MB/s)")
+    rows = [
+        [name, solo[name][0], corun[name][0], solo[name][1], corun[name][1]]
+        for name in APPS
+    ]
+    print(
+        format_table(
+            ["program", "read solo", "read co-run", "write solo", "write co-run"],
+            rows,
+        )
+    )
+    read_solo = sum(v[0] for v in solo.values())
+    read_corun = sum(v[0] for v in corun.values())
+    write_solo = sum(v[1] for v in solo.values())
+    write_corun = sum(v[1] for v in corun.values())
+    print(
+        f"total read: {read_solo:,.0f} -> {read_corun:,.0f} MB/s"
+        f" ({read_solo / max(read_corun, 1e-9):.2f}x lower; paper ~3.28x)"
+    )
+    print(
+        f"total write: {write_solo:,.0f} -> {write_corun:,.0f} MB/s"
+        f" ({write_solo / max(write_corun, 1e-9):.2f}x lower; paper ~2.80x)"
+    )
+
+    # Shape: per-app summed bandwidth degrades when co-running.
+    assert read_corun < read_solo * 0.8

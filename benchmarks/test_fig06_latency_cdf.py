@@ -1,0 +1,44 @@
+"""Figure 6: latency CDFs of demand vs prefetch requests under co-running.
+
+Paper (Fastswap-style sync/async QP split, four apps co-running on
+Leap): 99% of demand requests are served within ~40 µs, but 36.9% of
+prefetch requests exceed 512 µs (up to 52 ms) — prefetched pages arrive
+far too late to matter, because the async QP only drains when the sync
+QP is idle.
+"""
+
+from _common import NATIVES, config, print_header, run_cached
+from repro.metrics import format_table
+from repro.rdma.message import RequestKind
+
+GROUP = NATIVES + ["spark_lr"]
+
+
+def _run():
+    fastswap = config("fastswap", prefetcher="leap", bandwidth_scale=1.0)
+    result = run_cached(GROUP, fastswap)
+    demand = result.telemetry.merged_latency(RequestKind.DEMAND)
+    prefetch = result.telemetry.merged_latency(RequestKind.PREFETCH)
+    return demand, prefetch
+
+
+def test_fig06_latency_cdf(benchmark):
+    demand, prefetch = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Figure 6: demand vs prefetch RDMA latency CDF (µs)")
+    percentiles = [50, 90, 95, 99, 99.9]
+    rows = [
+        ["demand"] + [demand.percentile(p) for p in percentiles],
+        ["prefetch"] + [prefetch.percentile(p) for p in percentiles],
+    ]
+    print(format_table(["kind"] + [f"p{p}" for p in percentiles], rows))
+    late = prefetch.fraction_above(512.0)
+    print(
+        f"prefetch requests beyond 512µs: {100 * late:.1f}%"
+        f" (paper: 36.9%); max prefetch latency {prefetch.max_value:,.0f}µs"
+    )
+    print(f"demand p99: {demand.percentile(99):.1f}µs (paper: ~40µs)")
+
+    # Shape: demand stays fast, prefetch suffers a long tail.
+    assert demand.percentile(99) < prefetch.percentile(99)
+    assert prefetch.max_value > demand.percentile(99) * 5

@@ -1,0 +1,89 @@
+"""Figure 10: overall co-run performance under 25% and 50% local memory.
+
+Paper: for each group (three natives + one managed app), four bars per
+application: running alone on Linux 5.5, co-running on Linux 5.5,
+co-running on Fastswap, and co-running on Canvas.  Canvas improves
+co-run performance up to 6.2x (average 3.5x) at 25% local memory and up
+to 3.8x (average 1.9x) at 50%, and lets Spark even beat its solo run.
+"""
+
+from _common import (
+    MANAGED_FOUR,
+    NATIVES,
+    config,
+    geometric_mean,
+    print_header,
+    run_cached,
+    solo_times,
+)
+from repro.metrics import format_table
+
+
+def _run():
+    data = {}
+    for fraction in (0.25, 0.50):
+        linux = config("linux", local_memory_fraction=fraction)
+        fastswap = config("fastswap", local_memory_fraction=fraction)
+        canvas = config("canvas", local_memory_fraction=fraction)
+        for managed in MANAGED_FOUR:
+            group = NATIVES + [managed]
+            solo = solo_times(group, linux)
+            linux_co = run_cached(group, linux)
+            fastswap_co = run_cached(group, fastswap)
+            canvas_co = run_cached(group, canvas)
+            for app in group:
+                data[(fraction, managed, app)] = (
+                    solo[app],
+                    linux_co.completion_time(app),
+                    fastswap_co.completion_time(app),
+                    canvas_co.completion_time(app),
+                )
+    return data
+
+
+def test_fig10_overall(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    gains = {0.25: [], 0.50: []}
+    for fraction in (0.25, 0.50):
+        print_header(
+            f"Figure 10: completion times (ms), {int(fraction * 100)}% local memory"
+        )
+        rows = []
+        for managed in MANAGED_FOUR:
+            for app in NATIVES + [managed]:
+                solo, linux_co, fastswap_co, canvas_co = data[(fraction, managed, app)]
+                rows.append(
+                    [
+                        f"{managed}:{app}",
+                        solo / 1000,
+                        linux_co / 1000,
+                        fastswap_co / 1000,
+                        canvas_co / 1000,
+                        linux_co / canvas_co,
+                    ]
+                )
+                gains[fraction].append(linux_co / canvas_co)
+        print(
+            format_table(
+                ["group:app", "solo", "linux co", "fastswap co", "canvas co", "canvas gain (x)"],
+                rows,
+            )
+        )
+        print(
+            f"canvas vs linux co-run: max {max(gains[fraction]):.2f}x, "
+            f"geomean {geometric_mean(gains[fraction]):.2f}x "
+            f"(paper: up to {'6.2x, avg 3.5x' if fraction == 0.25 else '3.8x, avg 1.9x'})"
+        )
+
+    # Shape assertions.
+    assert geometric_mean(gains[0.25]) > 1.3, "Canvas must clearly beat Linux co-run"
+    assert max(gains[0.25]) > 2.0
+    # Benefits shrink when more memory is local.
+    assert geometric_mean(gains[0.25]) > geometric_mean(gains[0.50]) * 0.9
+    # At least one managed app outperforms its individual run on Canvas.
+    outperforms = any(
+        data[(0.25, managed, managed)][3] < data[(0.25, managed, managed)][0]
+        for managed in MANAGED_FOUR
+    )
+    assert outperforms, "paper: Spark/Neo4j outperform individual runs on Canvas"

@@ -1,0 +1,92 @@
+"""Figure 13 (+16a analog): entry allocation vs core count, Memcached.
+
+Paper: running Memcached alone under 25% local memory with 8-48 cores.
+Under Linux 5.5, per-entry allocation time grows super-linearly with
+cores (10µs at 16 → 130µs at 48) so the swap-out rate *decreases*; under
+Canvas, entry reservations make most swap-outs lock-free, the measured
+allocation rate stays low, and the swap-out rate scales with cores.
+"""
+
+from _common import config, print_header, run_cached
+from repro.metrics import format_table
+
+CORE_COUNTS = [8, 16, 32, 48]
+
+
+def _measure(result):
+    app = result.apps["memcached"]
+    elapsed = app.completion_time_us or result.elapsed_us
+    swapout_rate = result.telemetry.swapout_rate("memcached").mean_rate_per_second(
+        elapsed
+    )
+    alloc_rate = result.telemetry.alloc_rate("memcached").mean_rate_per_second(elapsed)
+    allocations = result.telemetry.alloc_rate("memcached").total
+    alloc_time = (
+        app.stats.alloc_stall_us / allocations if allocations else 0.0
+    )
+    return swapout_rate / 1000.0, alloc_rate / 1000.0, alloc_time
+
+
+def _run():
+    data = {}
+    for cores in CORE_COUNTS:
+        overrides = {
+            "cores_override": {"memcached": cores},
+            "workload_overrides": {
+                "memcached": {"n_threads": cores, "accesses_per_thread": 250}
+            },
+            # The paper's regime: swap-outs happen on the faulting threads
+            # themselves (every thread allocates), so contention scales
+            # with the core count.  A minimal kswapd forces direct reclaim.
+            "system_config_overrides": {"kswapd_batch": 1},
+        }
+        linux = run_cached(["memcached"], config("linux", **overrides))
+        canvas = run_cached(["memcached"], config("canvas", **overrides))
+        data[cores] = {"linux": _measure(linux), "canvas": _measure(canvas)}
+    return data
+
+
+def test_fig13_alloc_scalability(benchmark):
+    data = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Figure 13: Memcached entry allocation vs cores (Canvas vs Linux 5.5)")
+    rows = []
+    for cores in CORE_COUNTS:
+        linux = data[cores]["linux"]
+        canvas = data[cores]["canvas"]
+        rows.append(
+            [
+                cores,
+                canvas[0],
+                linux[0],
+                canvas[1],
+                linux[1],
+                canvas[2],
+                linux[2],
+            ]
+        )
+    print(
+        format_table(
+            [
+                "cores",
+                "canvas swapout K/s",
+                "linux swapout K/s",
+                "canvas alloc K/s",
+                "linux alloc K/s",
+                "canvas per-entry µs",
+                "linux per-entry µs",
+            ],
+            rows,
+        )
+    )
+    print("paper: linux per-entry 10µs@16 -> 130µs@48; canvas flat & low")
+
+    first, last = CORE_COUNTS[0], CORE_COUNTS[-1]
+    # Linux: per-entry allocation time grows with cores (super-linear),
+    # dragging its swap-out rate flat/down; Canvas's swap-out rate grows.
+    assert data[last]["linux"][2] > data[first]["linux"][2] * 2
+    assert data[last]["canvas"][0] > data[first]["canvas"][0]
+    # Canvas: reservations keep the allocation rate far below the
+    # swap-out rate and per-entry time below Linux's at high core counts.
+    assert data[last]["canvas"][1] < data[last]["canvas"][0] * 0.2
+    assert data[last]["canvas"][2] < data[last]["linux"][2]

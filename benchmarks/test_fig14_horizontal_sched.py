@@ -1,0 +1,119 @@
+"""Figure 14 + §6.4.3: two-dimensional RDMA scheduling effectiveness.
+
+Paper: GraphX-CC co-running with the natives.  The baseline already
+separates sync/async queues (demand priority, as Fastswap does); the
+*horizontal* contribution is timeliness-based dropping on top.  It adds
+no demand-latency overhead, trims the served-prefetch latency, and
+improves prefetching contribution/accuracy (+10.7%/+5.5%).  The vertical
+dimension achieves a weighted min-max ratio (WMMR) of ~0.88.
+"""
+
+from _common import NATIVES, config, print_header, run_cached
+from repro.metrics import format_table, weighted_min_max_ratio
+from repro.rdma.message import RequestKind
+
+GROUP = NATIVES + ["graphx_cc"]
+
+
+def _run():
+    # §6.4.3: "we set the weight proportionally to the average bandwidth
+    # of each application when running individually."
+    weights = {}
+    for name in GROUP:
+        solo = run_cached([name], config("canvas"))
+        elapsed = solo.apps[name].completion_time_us
+        weights[name] = max(
+            1.0, solo.telemetry.read_bandwidth.mean_mbps(name, elapsed)
+        )
+    # Both variants keep the demand/prefetch priority split; they differ
+    # only in timeliness-based dropping (the paper's horizontal knob).
+    without = run_cached(
+        GROUP,
+        config(
+            "canvas",
+            horizontal_scheduling=True,
+            timeliness_drops=False,
+            rdma_weights=weights,
+        ),
+    )
+    with_h = run_cached(
+        GROUP,
+        config(
+            "canvas",
+            horizontal_scheduling=True,
+            timeliness_drops=True,
+            rdma_weights=weights,
+        ),
+    )
+    return without, with_h
+
+
+def test_fig14_horizontal_sched(benchmark):
+    without, with_h = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header(
+        "Figure 14: timeliness-based prefetch dropping (GraphX-CC + natives)"
+    )
+    rows = []
+    for label, result in (("priority only", without), ("priority+drops", with_h)):
+        demand = result.telemetry.merged_latency(RequestKind.DEMAND)
+        prefetch = result.telemetry.merged_latency(RequestKind.PREFETCH)
+        gx = result.results["graphx_cc"]
+        rows.append(
+            [
+                label,
+                demand.percentile(90),
+                prefetch.percentile(90),
+                prefetch.percentile(99),
+                100 * gx.prefetch_contribution,
+                100 * gx.prefetch_accuracy,
+                result.completion_time("graphx_cc") / 1000,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "scheduling",
+                "demand p90 µs",
+                "prefetch p90 µs",
+                "prefetch p99 µs",
+                "GX contribution %",
+                "GX accuracy %",
+                "GX time ms",
+            ],
+            rows,
+        )
+    )
+    drops = with_h.system.scheduler.stats.prefetches_dropped
+    reissues = sum(a.stats.prefetch_drops for a in with_h.apps.values())
+    print(f"stale prefetches dropped at the scheduler: {drops}; "
+          f"blocked threads re-issued as demand: {reissues}")
+
+    # Vertical dimension: weighted fairness across apps, measured over
+    # the window in which every application is still running.
+    window = min(app.completion_time_us for app in with_h.apps.values())
+    consumption = {
+        name: with_h.telemetry.read_bandwidth.total_until(name, window)
+        for name in GROUP
+    }
+    weights = {name: with_h.apps[name].config.rdma_weight for name in GROUP}
+    wmmr = weighted_min_max_ratio(consumption, weights)
+    print(f"vertical WMMR (read bytes / weight, shared window): {wmmr:.2f}"
+          f" (paper: 0.88)")
+
+    demand_without = without.telemetry.merged_latency(RequestKind.DEMAND)
+    demand_with = with_h.telemetry.merged_latency(RequestKind.DEMAND)
+    prefetch_without = without.telemetry.merged_latency(RequestKind.PREFETCH)
+    prefetch_with = with_h.telemetry.merged_latency(RequestKind.PREFETCH)
+    # Shapes: the served-prefetch tail is trimmed sharply by dropping
+    # stale requests (the paper's headline for Fig. 14a); the overall
+    # running time holds; the drop machinery is actually exercised.
+    # (Re-issued demand reads add some demand-side load at our scale —
+    # see EXPERIMENTS.md — so demand p90 is bounded rather than flat.)
+    assert prefetch_with.percentile(99) < prefetch_without.percentile(99) * 0.6
+    assert demand_with.percentile(90) < demand_without.percentile(90) * 4.0
+    assert drops + reissues > 0
+    time_without = without.completion_time("graphx_cc")
+    time_with = with_h.completion_time("graphx_cc")
+    assert time_with < time_without * 1.15
+    assert wmmr > 0.6

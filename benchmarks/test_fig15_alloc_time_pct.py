@@ -1,0 +1,60 @@
+"""Figure 15 (Appendix A): time spent on swap-entry allocation.
+
+Paper: each application spends far more of its execution on obtaining
+swap entries when co-running on Linux 5.5 than when running alone (up to
+~70% of busy windows), because every allocation serializes on the shared
+free-list lock.  We report the mean time a swap-out spends obtaining its
+entry (wait + critical section) and the share of wall-clock thread time.
+"""
+
+from _common import config, print_header, run_cached
+from repro.metrics import format_table
+
+APPS = ["spark_lr", "xgboost", "snappy"]
+
+
+def _alloc_metrics(result, name):
+    app = result.apps[name]
+    elapsed = app.completion_time_us or result.elapsed_us
+    allocations = result.telemetry.alloc_rate(name).total
+    per_alloc = app.stats.alloc_stall_us / allocations if allocations else 0.0
+    share = 100.0 * app.stats.alloc_stall_us / (elapsed * app.config.n_cores)
+    return per_alloc, share
+
+
+def _run():
+    linux = config("linux")
+    solo = {name: _alloc_metrics(run_cached([name], linux), name) for name in APPS}
+    corun_result = run_cached(APPS, linux)
+    corun = {name: _alloc_metrics(corun_result, name) for name in APPS}
+    return solo, corun
+
+
+def test_fig15_alloc_time_pct(benchmark):
+    solo, corun = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    print_header("Figure 15: time spent obtaining swap entries (Linux 5.5)")
+    rows = [
+        [name, solo[name][0], corun[name][0], solo[name][1], corun[name][1]]
+        for name in APPS
+    ]
+    print(
+        format_table(
+            [
+                "program",
+                "solo µs/alloc",
+                "co-run µs/alloc",
+                "solo % of time",
+                "co-run % of time",
+            ],
+            rows,
+        )
+    )
+    print("paper: co-running pushes allocation to up to ~70% of busy windows")
+
+    # Shape: the shared lock makes each allocation far more expensive
+    # when applications co-run.
+    for name in APPS:
+        assert corun[name][0] > solo[name][0] * 1.3, (
+            f"{name}: per-allocation time must rise under co-running"
+        )

@@ -1,0 +1,25 @@
+"""Canvas (NSDI 2023) reproduction: isolated and adaptive swapping for
+multi-applications on remote memory, as a discrete-event simulation.
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.sim` — event engine, simulated locks/queues, RNG streams
+* :mod:`repro.mem` / :mod:`repro.swap` / :mod:`repro.rdma` — the memory,
+  swap, and fabric substrates
+* :mod:`repro.kernel` — the swap data path and the Linux 5.5 baseline
+* :mod:`repro.prefetch` / :mod:`repro.runtime` — prefetchers and the JVM model
+* :mod:`repro.workloads` — the Table 2 applications
+* :mod:`repro.baselines` — Fastswap and Infiniswap comparators
+* :mod:`repro.core` — Canvas itself
+* :mod:`repro.harness` / :mod:`repro.metrics` — experiments and telemetry
+
+Entry points most users want::
+
+    from repro.harness import ExperimentConfig, run_experiment
+    result = run_experiment(["memcached"], ExperimentConfig(system="canvas"))
+    result.completion_time("memcached")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,21 @@
+"""Post-experiment analysis: summaries, comparisons, figure-data export."""
+
+from repro.analysis.export import (
+    export_bandwidth_series,
+    export_cdf,
+    export_rate_series,
+    export_rows,
+    export_summaries,
+)
+from repro.analysis.summary import AppSummary, slowdown_matrix, summarize
+
+__all__ = [
+    "AppSummary",
+    "slowdown_matrix",
+    "summarize",
+    "export_bandwidth_series",
+    "export_cdf",
+    "export_rate_series",
+    "export_rows",
+    "export_summaries",
+]

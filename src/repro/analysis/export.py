@@ -1,0 +1,72 @@
+"""Figure-data export: CSV files for external plotting.
+
+Each benchmark prints its table; these helpers write the same data as
+CSV so users can regenerate the paper's figures with their plotting tool
+of choice (the repository itself stays matplotlib-free).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.metrics.collectors import BandwidthMeter, Histogram, RateMeter
+
+__all__ = [
+    "export_rows",
+    "export_cdf",
+    "export_rate_series",
+    "export_bandwidth_series",
+    "export_summaries",
+]
+
+
+def export_rows(path, headers: Sequence[str], rows: Iterable[Sequence]) -> int:
+    """Write generic tabular data; returns the number of rows written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+    return count
+
+
+def export_cdf(path, hist: Histogram, points: int = 200) -> int:
+    """Write a latency CDF as (value_us, cumulative_probability) pairs."""
+    if hist.count == 0:
+        return export_rows(path, ["value_us", "cdf"], [])
+    lo, hi = hist.min_value, hist.max_value
+    if hi <= lo:
+        sample_points = [lo]
+    else:
+        step = (hi - lo) / (points - 1)
+        sample_points = [lo + i * step for i in range(points)]
+    pairs = hist.cdf(points=sample_points)
+    return export_rows(path, ["value_us", "cdf"], pairs)
+
+
+def export_rate_series(path, meter: RateMeter) -> int:
+    """Write a rate time series as (time_us, events_per_second) pairs."""
+    return export_rows(path, ["time_us", "per_second"], meter.series())
+
+
+def export_bandwidth_series(path, meter: BandwidthMeter) -> int:
+    """Write all streams' bandwidth series: (stream, time_us, mbps)."""
+    rows: List[Tuple[str, float, float]] = []
+    for stream in meter.streams():
+        for time_us, mbps in meter.series_mbps(stream):
+            rows.append((stream, time_us, mbps))
+    return export_rows(path, ["stream", "time_us", "mbps"], rows)
+
+
+def export_summaries(path, summaries: Dict[str, "AppSummary"]) -> int:  # noqa: F821
+    """Write per-app experiment summaries (see repro.analysis.summary)."""
+    rows = [summary.as_dict() for summary in summaries.values()]
+    if not rows:
+        return export_rows(path, [], [])
+    headers = list(rows[0].keys())
+    return export_rows(path, headers, ([row[h] for h in headers] for row in rows))

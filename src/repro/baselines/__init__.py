@@ -1,0 +1,13 @@
+"""Comparator swap systems: Linux 5.5, Fastswap, Infiniswap, Linux 5.14.
+
+The Linux 5.5 baseline itself lives in :mod:`repro.kernel.swap_system`
+(:class:`~repro.kernel.swap_system.LinuxSwapSystem`); the Linux 5.14
+allocator comparator is ``LinuxSwapSystem`` constructed with
+:class:`~repro.swap.allocator.Linux514Allocator`.
+"""
+
+from repro.baselines.fastswap import FastswapSystem
+from repro.baselines.infiniswap import InfiniswapSystem
+from repro.kernel.swap_system import LinuxSwapSystem
+
+__all__ = ["FastswapSystem", "InfiniswapSystem", "LinuxSwapSystem"]

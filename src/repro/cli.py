@@ -1,0 +1,167 @@
+"""Command-line interface: run simulated swap experiments from a shell.
+
+Examples
+--------
+Run one application alone on Canvas::
+
+    canvas-sim run --system canvas --apps memcached
+
+Co-run the paper's headline group on every system and compare::
+
+    canvas-sim compare --apps snappy memcached xgboost spark_lr
+
+List available workloads and systems::
+
+    canvas-sim list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.metrics.report import format_table
+from repro.workloads.registry import WORKLOADS
+
+SYSTEMS = ["linux", "linux514", "fastswap", "infiniswap", "canvas-iso", "canvas"]
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="canvas-sim",
+        description="Canvas (NSDI 2023) swap-system simulator",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = sub.add_parser("run", help="run one experiment and print per-app stats")
+    _add_common(run_cmd)
+
+    compare_cmd = sub.add_parser(
+        "compare", help="run the same workload group on several systems"
+    )
+    _add_common(compare_cmd, with_system=False)
+    compare_cmd.add_argument(
+        "--systems",
+        nargs="+",
+        default=["linux", "fastswap", "canvas-iso", "canvas"],
+        choices=SYSTEMS,
+    )
+
+    sub.add_parser("list", help="list workloads and system kinds")
+    return parser
+
+
+def _add_common(cmd: argparse.ArgumentParser, with_system: bool = True) -> None:
+    cmd.add_argument("--apps", nargs="+", required=True, choices=sorted(WORKLOADS))
+    if with_system:
+        cmd.add_argument("--system", default="canvas", choices=SYSTEMS)
+    cmd.add_argument("--scale", type=float, default=0.15)
+    cmd.add_argument("--local", type=float, default=0.25, help="local-memory fraction")
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument(
+        "--prefetcher",
+        default="readahead",
+        choices=["readahead", "leap", "leap-isolated", "none"],
+        help="baseline-system prefetcher (Canvas manages its own)",
+    )
+    cmd.add_argument(
+        "--csv",
+        default=None,
+        metavar="PATH",
+        help="also write per-app summaries as CSV",
+    )
+
+
+def _config(args, system: Optional[str] = None) -> ExperimentConfig:
+    return ExperimentConfig(
+        system=system if system is not None else args.system,
+        scale=args.scale,
+        local_memory_fraction=args.local,
+        seed=args.seed,
+        prefetcher=args.prefetcher,
+    )
+
+
+def _cmd_run(args) -> int:
+    result = run_experiment(args.apps, _config(args))
+    if args.csv:
+        from repro.analysis import export_summaries, summarize
+
+        export_summaries(args.csv, summarize(result))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    rows = []
+    for name in args.apps:
+        app_result = result.results[name]
+        stats = app_result.stats
+        rows.append(
+            [
+                name,
+                app_result.completion_time_us / 1000,
+                stats.faults,
+                f"{100 * stats.fault_rate:.1f}%",
+                f"{100 * app_result.prefetch_contribution:.1f}%",
+                stats.swapouts + stats.clean_drops,
+            ]
+        )
+    print(
+        format_table(
+            ["app", "time (ms)", "faults", "fault rate", "prefetch contrib", "evictions"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    times = {}
+    csv_rows = []
+    for system in args.systems:
+        print(f"running {args.apps} on {system} ...", file=sys.stderr)
+        result = run_experiment(args.apps, _config(args, system=system))
+        times[system] = {
+            name: result.completion_time(name) / 1000 for name in args.apps
+        }
+        if args.csv:
+            from repro.analysis import summarize
+
+            for summary in summarize(result).values():
+                csv_rows.append({"system": system, **summary.as_dict()})
+    if args.csv and csv_rows:
+        from repro.analysis import export_rows
+
+        headers = list(csv_rows[0].keys())
+        export_rows(args.csv, headers, ([r[h] for h in headers] for r in csv_rows))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    rows = [[system] + [times[system][name] for name in args.apps]
+            for system in args.systems]
+    print(format_table(["system (ms)"] + args.apps, rows))
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    rows = [
+        [cls.name, cls.display_name, "managed" if cls.managed else "native",
+         cls.n_threads]
+        for cls in sorted(WORKLOADS.values(), key=lambda c: c.name)
+    ]
+    print(format_table(["name", "description", "runtime", "threads"], rows))
+    print()
+    print("systems: " + ", ".join(SYSTEMS))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    return _cmd_list(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

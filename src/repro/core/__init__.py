@@ -1,0 +1,25 @@
+"""Canvas core: isolation, adaptive allocation, two-tier prefetch, 2D RDMA."""
+
+from repro.core.adaptive_alloc import AdaptiveAllocStats, AdaptiveSwapManager
+from repro.core.canvas import CanvasConfig, CanvasSwapSystem
+from repro.core.rdma_sched import SchedulerStats, TwoDimensionalScheduler
+from repro.core.two_tier import TwoTierController, TwoTierStats
+
+__all__ = [
+    "AdaptiveAllocStats",
+    "AdaptiveSwapManager",
+    "CanvasConfig",
+    "CanvasSwapSystem",
+    "SchedulerStats",
+    "TwoDimensionalScheduler",
+    "TwoTierController",
+    "TwoTierStats",
+]
+
+from repro.core.rebalance import CacheRebalancer, RebalanceStats
+
+__all__ += ["CacheRebalancer", "RebalanceStats"]
+
+from repro.core.remote_memory import DemandDrivenRemoteMemory, RemoteMemoryStats
+
+__all__ += ["DemandDrivenRemoteMemory", "RemoteMemoryStats"]

@@ -1,0 +1,114 @@
+"""Dynamic swap-cache rebalancing (extension; the paper's stated future work).
+
+§4 closes: "cgroup can only partition resources statically while
+applications' resource usage may change from time to time and static
+partitioning could lead to resource underutilization ... future work
+could incorporate max-min fair allocation to improve resource
+utilization."
+
+This module implements that direction for the private swap caches: a
+daemon periodically measures each cgroup's cache pressure and shifts
+budget from caches with slack (working well below capacity) to caches
+that keep overflowing, conserving the total.  Each cache keeps a
+guaranteed floor — an application reclaims its lent-out budget simply by
+using its cache again, at which point the donor (now pressured) wins it
+back on a later round.  This is max-min-style: satisfied users keep what
+they use; surplus flows to the unsatisfied, largest-deficit first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Generator, List
+
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.swap.swap_cache import SwapCache
+
+__all__ = ["RebalanceStats", "CacheRebalancer"]
+
+
+@dataclass
+class RebalanceStats:
+    rounds: int = 0
+    pages_moved: int = 0
+    transfers: int = 0
+
+
+class CacheRebalancer:
+    """Max-min style budget shifting between per-cgroup swap caches."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        caches: Dict[str, "SwapCache"],
+        period_us: float = 5_000.0,
+        floor_pages: int = 64,
+        slack_threshold: float = 0.5,
+        pressure_threshold: float = 0.95,
+        step_fraction: float = 0.25,
+    ):
+        self.engine = engine
+        self.caches = caches
+        self.period_us = period_us
+        #: No cache is ever shrunk below its floor.
+        self.floor_pages = floor_pages
+        #: Occupancy below which a cache is considered a donor.
+        self.slack_threshold = slack_threshold
+        #: Occupancy above which a cache is considered pressured.
+        self.pressure_threshold = pressure_threshold
+        #: Fraction of a donor's surplus moved per round (gradual shifts).
+        self.step_fraction = step_fraction
+        self.stats = RebalanceStats()
+        self._baseline_total = sum(c.capacity_pages for c in caches.values())
+        engine.spawn(self._loop(), name="cache-rebalancer")
+
+    @property
+    def total_budget(self) -> int:
+        return sum(cache.capacity_pages for cache in self.caches.values())
+
+    def _loop(self) -> Generator:
+        while True:
+            yield self.engine.timeout(self.period_us)
+            self.rebalance_once()
+
+    def rebalance_once(self) -> int:
+        """One max-min pass; returns pages moved."""
+        self.stats.rounds += 1
+        donors: List[tuple] = []
+        takers: List[tuple] = []
+        for name, cache in self.caches.items():
+            occupancy = len(cache) / cache.capacity_pages
+            if (
+                occupancy < self.slack_threshold
+                and cache.capacity_pages > self.floor_pages
+            ):
+                surplus = min(
+                    cache.capacity_pages - self.floor_pages,
+                    int((cache.capacity_pages - len(cache)) * self.step_fraction),
+                )
+                if surplus > 0:
+                    donors.append((surplus, name, cache))
+            elif occupancy >= self.pressure_threshold:
+                # Deficit signal: how hard the cache is bumping its lid.
+                takers.append((cache.stats.shrink_evictions, name, cache))
+        if not donors or not takers:
+            return 0
+        # Largest deficit first (max-min: serve the least satisfied).
+        takers.sort(reverse=True)
+        donors.sort(reverse=True)
+        moved = 0
+        taker_index = 0
+        for surplus, _donor_name, donor in donors:
+            if taker_index >= len(takers):
+                break
+            _deficit, _taker_name, taker = takers[taker_index]
+            donor.capacity_pages -= surplus
+            taker.capacity_pages += surplus
+            moved += surplus
+            self.stats.transfers += 1
+            taker_index = (taker_index + 1) % len(takers)
+        self.stats.pages_moved += moved
+        assert self.total_budget == self._baseline_total
+        return moved

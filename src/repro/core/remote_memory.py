@@ -1,0 +1,99 @@
+"""Demand-driven remote-memory provisioning (§4).
+
+"Canvas allocates remote memory in a demand-driven manner — upon a
+pressure in local memory, Canvas allocates remote memory and registers
+it as a RDMA buffer."  Instead of provisioning the whole per-cgroup
+partition up front, the partition starts small and grows in chunks as
+the free list drains, paying an RDMA buffer-registration latency per
+chunk, until the cgroup's remote-memory limit is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.sim.engine import Engine
+from repro.swap.partition import SwapPartition
+
+__all__ = ["RemoteMemoryStats", "DemandDrivenRemoteMemory"]
+
+
+@dataclass
+class RemoteMemoryStats:
+    growths: int = 0
+    entries_registered: int = 0
+    registration_stall_us: float = 0.0
+
+
+class DemandDrivenRemoteMemory:
+    """Grow a partition toward its cgroup limit as demand materializes."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        partition: SwapPartition,
+        limit_entries: int,
+        chunk_entries: int = 1024,
+        registration_us_per_chunk: float = 120.0,
+        low_water_entries: int = 64,
+    ):
+        if partition.n_entries > limit_entries:
+            raise ValueError(
+                f"partition already exceeds its limit "
+                f"({partition.n_entries} > {limit_entries})"
+            )
+        self.engine = engine
+        self.partition = partition
+        self.limit_entries = limit_entries
+        self.chunk_entries = chunk_entries
+        self.registration_us_per_chunk = registration_us_per_chunk
+        self.low_water_entries = low_water_entries
+        self.stats = RemoteMemoryStats()
+        self._growing = False
+
+    @property
+    def headroom(self) -> int:
+        """Entries still available to register under the cgroup limit."""
+        return self.limit_entries - self.partition.n_entries
+
+    @property
+    def at_limit(self) -> bool:
+        return self.headroom <= 0
+
+    def maybe_grow(self) -> Generator:
+        """Simulation sub-generator: register another chunk if the free
+        list is running low.  Concurrent callers coalesce onto one
+        registration (the second caller returns immediately; its
+        allocation then either finds entries or retries)."""
+        if (
+            self.partition.free_count > self.low_water_entries
+            or self.at_limit
+            or self._growing
+        ):
+            return
+        self._growing = True
+        try:
+            chunk = min(self.chunk_entries, self.headroom)
+            start = self.engine.now
+            yield self.engine.timeout(self.registration_us_per_chunk)
+            self.partition.grow(chunk)
+            self.stats.growths += 1
+            self.stats.entries_registered += chunk
+            self.stats.registration_stall_us += self.engine.now - start
+        finally:
+            self._growing = False
+
+    def ensure_untimed(self, n_entries: int) -> None:
+        """Setup-time growth (experiment prepopulation; costs no time)."""
+        needed = n_entries - self.partition.free_count
+        if needed <= 0:
+            return
+        if needed > self.headroom:
+            raise RuntimeError(
+                f"{self.partition.name}: needs {needed} entries but only "
+                f"{self.headroom} below the cgroup limit"
+            )
+        self.partition.grow(needed)
+        self.stats.growths += 1
+        self.stats.entries_registered += needed

@@ -1,0 +1,69 @@
+"""Two-tier adaptive prefetching control (§5.2).
+
+The kernel-tier prefetcher (per-application readahead into the private
+swap cache) is always the first line.  This controller watches how well
+it does: when the number of pages it prefetches stays below
+``fail_threshold_pages`` for ``consecutive_faults`` faults in a row, the
+faulting addresses start being forwarded up through the modified
+userfaultfd interface to the application tier (the JVM's semantic
+prefetcher).  Forwarding stops the moment the kernel tier becomes
+effective again, because the application tier costs the app's own CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.userfaultfd import UserfaultfdChannel
+
+__all__ = ["TwoTierStats", "TwoTierController"]
+
+
+@dataclass
+class TwoTierStats:
+    kernel_successes: int = 0
+    kernel_failures: int = 0
+    forwarding_activations: int = 0
+    forwarded: int = 0
+
+
+class TwoTierController:
+    """Per-application decision logic for uffd forwarding."""
+
+    def __init__(
+        self,
+        uffd: UserfaultfdChannel,
+        fail_threshold_pages: int = 2,
+        consecutive_faults: int = 3,
+    ):
+        self.uffd = uffd
+        self.fail_threshold_pages = fail_threshold_pages
+        self.consecutive_faults = consecutive_faults
+        self.stats = TwoTierStats()
+        self._failure_streak = 0
+        self.forwarding = False
+
+    def note_kernel_hit(self) -> None:
+        """A fault hit a kernel-prefetched page: the kernel tier works."""
+        self._failure_streak = 0
+        self.stats.kernel_successes += 1
+        self.forwarding = False
+
+    def on_kernel_prefetch(self, thread_id: int, vpn: int, pages_issued: int) -> None:
+        """Observe one fault's kernel-tier outcome; maybe forward."""
+        if pages_issued < self.fail_threshold_pages:
+            self._failure_streak += 1
+            self.stats.kernel_failures += 1
+            if (
+                not self.forwarding
+                and self._failure_streak >= self.consecutive_faults
+            ):
+                self.forwarding = True
+                self.stats.forwarding_activations += 1
+        else:
+            self._failure_streak = 0
+            self.stats.kernel_successes += 1
+            self.forwarding = False  # kernel tier is effective again
+        if self.forwarding and self.uffd.has_handler:
+            self.stats.forwarded += 1
+            self.uffd.forward(thread_id, vpn)

@@ -1,0 +1,28 @@
+"""Experiment harness: machine model, thread driver, experiment runner."""
+
+from repro.harness.driver import app_thread, run_to_completion, spawn_app
+from repro.harness.experiment import (
+    AppResult,
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    run_individual,
+)
+from repro.harness.machine import Machine
+from repro.harness.trace import FaultRecord, FaultTracer, load_trace, replay_streams
+
+__all__ = [
+    "app_thread",
+    "run_to_completion",
+    "spawn_app",
+    "AppResult",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "run_individual",
+    "Machine",
+    "FaultRecord",
+    "FaultTracer",
+    "load_trace",
+    "replay_streams",
+]

@@ -1,0 +1,327 @@
+"""Experiment harness: build, run, and measure individual/co-run setups.
+
+Encodes the paper's §6 methodology:
+
+* each application runs in a cgroup with fixed cores (managed 24,
+  XGBoost 16, Memcached 4, Snappy 1) and local memory equal to 25% or
+  50% of its working set;
+* for Canvas, each app's swap partition is sized so local + remote is
+  *slightly larger* than its working set, forcing reservation
+  cancellation (§5.1); RDMA weights are proportional to partition sizes;
+* baselines share one partition sized to the same total remote memory,
+  one swap cache, and one prefetcher instance.
+
+``run_experiment`` handles any system kind × any set of workloads, solo
+or co-run; every benchmark file drives it with different knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.baselines.fastswap import FastswapSystem
+from repro.baselines.infiniswap import InfiniswapSystem
+from repro.core.canvas import CanvasConfig, CanvasSwapSystem
+from repro.harness.driver import run_to_completion, spawn_app
+from repro.harness.machine import Machine
+from repro.kernel.cgroup import AppContext, AppSwapStats, CgroupConfig
+from repro.kernel.swap_system import (
+    BaseSwapSystem,
+    LinuxSwapSystem,
+    SwapSystemConfig,
+)
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.leap import LeapPrefetcher
+from repro.prefetch.readahead import KernelReadahead
+from repro.swap.allocator import FreeListAllocator, Linux514Allocator
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+__all__ = ["ExperimentConfig", "AppResult", "ExperimentResult", "run_experiment"]
+
+#: Paper §6: per-application core limits in co-run experiments.
+DEFAULT_CORES = {
+    "memcached": 4,
+    "snappy": 1,
+    "xgboost": 16,
+}
+MANAGED_CORES = 24
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment's knobs (defaults follow the paper's §6 setup)."""
+
+    system: str = "linux"
+    seed: int = 0
+    scale: float = 0.25
+    local_memory_fraction: float = 0.25
+    #: Extra remote memory beyond (working set - local), as a fraction of
+    #: the working set.  Covers entries pinned by in-flight writebacks and
+    #: swap-cache pages while keeping occupancy above the §5.1 reservation
+    #: -cancellation trigger ("local + remote slightly larger than the
+    #: working set").
+    partition_headroom: float = 0.25
+    #: Baseline prefetcher: "readahead", "leap", or "none".
+    prefetcher: str = "readahead"
+    #: Swap cache budget as a fraction of local memory (per app under
+    #: Canvas; summed for the shared baseline cache).
+    swap_cache_fraction: float = 0.25
+    #: Canvas ablations.
+    adaptive_allocation: bool = True
+    two_tier_prefetch: bool = True
+    horizontal_scheduling: bool = True
+    #: Fig. 14 ablation: toggle timeliness drops independently of the
+    #: priority split; None follows ``horizontal_scheduling``.
+    timeliness_drops: Optional[bool] = None
+    #: Extension: max-min dynamic swap-cache rebalancing between cgroups.
+    dynamic_cache_rebalance: bool = False
+    #: Override cores per workload name (falls back to paper defaults).
+    cores_override: Dict[str, int] = field(default_factory=dict)
+    #: Simulated-time safety limit.
+    limit_us: float = 60_000_000_000.0
+    #: Telemetry bin width for rate/bandwidth series.
+    telemetry_bin_us: float = 5_000.0
+    #: Fabric bandwidth multiplier over the 40 Gbps default.  The paper's
+    #: runs keep RDMA bandwidth unsaturated (§3); our scaled-down
+    #: workloads fault more intensely per byte of working set, so the
+    #: simulated fabric gets matching headroom.
+    bandwidth_scale: float = 2.5
+    #: Attribute overrides applied to the SwapSystemConfig (e.g.
+    #: {"kswapd_batch": 8, "entry_keeping": False}).
+    system_config_overrides: Dict[str, object] = field(default_factory=dict)
+    #: Per-workload attribute overrides applied after construction, e.g.
+    #: {"memcached": {"n_threads": 48}} for the Fig. 13 core sweep.
+    workload_overrides: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: RDMA scheduling weights per app.  The paper sets them proportional
+    #: to each application's *individually measured* bandwidth (§6.4.3);
+    #: default (empty) falls back to partition-size proportionality.
+    rdma_weights: Dict[str, float] = field(default_factory=dict)
+
+    def cores_for(self, workload: Workload) -> int:
+        if workload.name in self.cores_override:
+            return self.cores_override[workload.name]
+        if workload.name in DEFAULT_CORES:
+            return DEFAULT_CORES[workload.name]
+        return MANAGED_CORES
+
+
+@dataclass
+class AppResult:
+    """Summary of one application's run."""
+
+    name: str
+    completion_time_us: float
+    stats: AppSwapStats
+    prefetch_contribution: float
+    prefetch_accuracy: float
+
+
+class ExperimentResult:
+    """Everything a benchmark needs after a run."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        system: BaseSwapSystem,
+        apps: Dict[str, AppContext],
+        elapsed_us: float,
+    ):
+        self.machine = machine
+        self.system = system
+        self.apps = apps
+        self.elapsed_us = elapsed_us
+        self.telemetry = machine.telemetry
+        self.results: Dict[str, AppResult] = {}
+        for name, app in apps.items():
+            cache_stats = self._cache_stats_for(system, app)
+            issued = app.stats.prefetches_issued
+            self.results[name] = AppResult(
+                name=name,
+                completion_time_us=app.completion_time_us or float("nan"),
+                stats=app.stats,
+                prefetch_contribution=app.stats.prefetch_contribution,
+                prefetch_accuracy=(
+                    app.stats.prefetch_cache_hits / issued if issued > 0 else 0.0
+                ),
+            )
+
+    @staticmethod
+    def _cache_stats_for(system: BaseSwapSystem, app: AppContext):
+        try:
+            return system._private_cache(app).stats
+        except (KeyError, NotImplementedError):  # pragma: no cover
+            return None
+
+    def completion_time(self, name: str) -> float:
+        return self.results[name].completion_time_us
+
+
+def _build_system(
+    machine: Machine, config: ExperimentConfig, total_remote_pages: int
+) -> BaseSwapSystem:
+    sys_config = SwapSystemConfig()
+    for key, value in config.system_config_overrides.items():
+        if not hasattr(sys_config, key):
+            raise AttributeError(f"SwapSystemConfig has no field {key!r}")
+        setattr(sys_config, key, value)
+    prefetcher = _make_prefetcher(config)
+    kind = config.system
+    if kind == "linux":
+        return LinuxSwapSystem(
+            machine.engine,
+            machine.nic,
+            partition_pages=total_remote_pages,
+            prefetcher=prefetcher,
+            telemetry=machine.telemetry,
+            config=sys_config,
+        )
+    if kind == "linux514":
+        return LinuxSwapSystem(
+            machine.engine,
+            machine.nic,
+            partition_pages=total_remote_pages,
+            prefetcher=prefetcher,
+            telemetry=machine.telemetry,
+            config=sys_config,
+            allocator_cls=Linux514Allocator,
+            name="linux514",
+        )
+    if kind == "fastswap":
+        return FastswapSystem(
+            machine.engine,
+            machine.nic,
+            partition_pages=total_remote_pages,
+            prefetcher=prefetcher,
+            telemetry=machine.telemetry,
+            config=sys_config,
+        )
+    if kind == "infiniswap":
+        return InfiniswapSystem(
+            machine.engine,
+            machine.nic,
+            partition_pages=total_remote_pages,
+            prefetcher=prefetcher,
+            telemetry=machine.telemetry,
+            config=sys_config,
+        )
+    if kind in ("canvas", "canvas-iso"):
+        isolation_only = kind == "canvas-iso"
+        canvas_config = CanvasConfig(
+            adaptive_allocation=config.adaptive_allocation and not isolation_only,
+            two_tier_prefetch=config.two_tier_prefetch and not isolation_only,
+            horizontal_scheduling=(
+                config.horizontal_scheduling and not isolation_only
+            ),
+            timeliness_drops=(False if isolation_only else config.timeliness_drops),
+            dynamic_cache_rebalance=config.dynamic_cache_rebalance,
+        )
+        return CanvasSwapSystem(
+            machine.engine,
+            machine.nic,
+            telemetry=machine.telemetry,
+            config=sys_config,
+            canvas_config=canvas_config,
+        )
+    raise ValueError(f"unknown system kind {config.system!r}")
+
+
+def _make_prefetcher(config: ExperimentConfig) -> Optional[Prefetcher]:
+    if config.prefetcher == "readahead":
+        return KernelReadahead()
+    if config.prefetcher == "leap":
+        return LeapPrefetcher()
+    if config.prefetcher == "leap-isolated":
+        return LeapPrefetcher(per_app_history=True)
+    if config.prefetcher == "none":
+        return None
+    raise ValueError(f"unknown prefetcher {config.prefetcher!r}")
+
+
+def run_experiment(
+    workload_names: List[str], config: ExperimentConfig
+) -> ExperimentResult:
+    """Build the machine + system + apps, run to completion, summarize."""
+    from repro.rdma.nic import DEFAULT_BANDWIDTH_BYTES_PER_US
+
+    bandwidth = DEFAULT_BANDWIDTH_BYTES_PER_US * config.bandwidth_scale
+    machine = Machine(
+        seed=config.seed,
+        telemetry_bin_us=config.telemetry_bin_us,
+        read_bandwidth_bytes_per_us=bandwidth,
+        write_bandwidth_bytes_per_us=bandwidth,
+    )
+    workloads = []
+    for name in workload_names:
+        workload = make_workload(name, scale=config.scale)
+        for attr, value in config.workload_overrides.get(name, {}).items():
+            if not hasattr(workload, attr):
+                raise AttributeError(f"{name} workload has no attribute {attr!r}")
+            setattr(workload, attr, value)
+        workloads.append(workload)
+
+    sizing = []
+    total_remote = 0
+    for workload in workloads:
+        ws = workload.working_set_pages
+        local_pages = max(64, int(ws * config.local_memory_fraction))
+        headroom = max(160, int(ws * config.partition_headroom))
+        remote_pages = max(256, ws - local_pages + headroom)
+        total_remote += remote_pages
+        sizing.append((workload, local_pages, remote_pages))
+
+    system = _build_system(machine, config, total_remote)
+    is_canvas = isinstance(system, CanvasSwapSystem)
+
+    apps: Dict[str, AppContext] = {}
+    processes = []
+    for workload, local_pages, remote_pages in sizing:
+        cgroup = CgroupConfig(
+            name=workload.name,
+            n_cores=config.cores_for(workload),
+            local_memory_pages=local_pages,
+            swap_partition_pages=remote_pages if is_canvas else None,
+            swap_cache_pages=max(
+                96, int(local_pages * config.swap_cache_fraction)
+            ),
+            rdma_weight=config.rdma_weights.get(
+                workload.name, float(remote_pages)
+            ),
+        )
+        app = AppContext(machine.engine, cgroup)
+        build_rng = machine.rng.child(workload.name).stream("build")
+        workload.build(app, build_rng)
+        system.register_app(app)
+        # Resident fraction leaves kswapd headroom below the low watermark.
+        resident_fraction = min(
+            0.999 * local_pages / workload.working_set_pages * 0.85,
+            1.0,
+        )
+        system.prepopulate(app, resident_fraction)
+        stream_rng = machine.rng.child(workload.name).stream("streams")
+        processes.append(
+            spawn_app(system, app, workload.thread_streams(app, stream_rng))
+        )
+        apps[workload.name] = app
+
+    # The baseline swap cache is global and effectively unbounded (real
+    # kernels bound it by memory pressure, which our per-app frame
+    # charging plus forced shrinking models); only Canvas imposes
+    # explicit per-cgroup budgets.  Cross-app interference appears in the
+    # baseline when one app's pressure releases another app's cached
+    # pages from the shared LRU.
+    if not is_canvas:
+        system.cache.capacity_pages = max(
+            64, sum(app.pool.capacity_pages for app in apps.values())
+        )
+
+    elapsed = run_to_completion(machine.engine, processes, limit_us=config.limit_us)
+    return ExperimentResult(machine, system, apps, elapsed)
+
+
+def run_individual(
+    workload_name: str, config: ExperimentConfig
+) -> ExperimentResult:
+    """Run one application alone (the paper's 'individual run')."""
+    return run_experiment([workload_name], config)

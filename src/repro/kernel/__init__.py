@@ -1,0 +1,17 @@
+"""Kernel layer: fault handling, reclaim, cgroups, userfaultfd, telemetry."""
+
+from repro.kernel.cgroup import AppContext, AppSwapStats, CgroupConfig
+from repro.kernel.swap_system import BaseSwapSystem, LinuxSwapSystem, SwapSystemConfig
+from repro.kernel.telemetry import Telemetry
+from repro.kernel.userfaultfd import UserfaultfdChannel
+
+__all__ = [
+    "AppContext",
+    "AppSwapStats",
+    "CgroupConfig",
+    "BaseSwapSystem",
+    "LinuxSwapSystem",
+    "SwapSystemConfig",
+    "Telemetry",
+    "UserfaultfdChannel",
+]

@@ -1,0 +1,692 @@
+"""The swap system: fault handling, reclaim, writeback, prefetch issuing.
+
+:class:`BaseSwapSystem` implements the remote-access data path of §2:
+
+* page fault → swap-cache lookup → demand swap-in over RDMA,
+* prefetch issuing driven by a pluggable prefetcher,
+* cgroup frame accounting with direct reclaim and a kswapd analogue,
+* eviction → swap-entry allocation (the contended step) → RDMA writeback.
+
+Subclasses configure *policy* through hooks: which swap cache and
+allocator serve an app (shared in Linux, per-cgroup in Canvas), how RDMA
+requests are routed (single QP, Fastswap's sync/async split, Canvas's
+VQP + two-dimensional scheduler), what happens on map-in/eviction (entry
+keeping vs Canvas's reservation FSM), and how a thread waits on an
+in-flight prefetch (Canvas's stale-prefetch drop).
+
+Frame-accounting invariant: every physically present page — resident or
+sitting in a swap cache — holds exactly one charged frame in its owner's
+pool.  Charges happen when a swap-in is issued or a page is faulted in;
+uncharges happen when a swap-cache page is released or a writeback
+completes and drops the page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.kernel.cgroup import AppContext
+from repro.kernel.telemetry import Telemetry
+from repro.mem.page import Page
+from repro.prefetch.base import Prefetcher
+from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
+from repro.rdma.nic import RNIC, PhysicalQP
+from repro.sim.engine import Engine, Event
+from repro.swap.allocator import EntryAllocator, FreeListAllocator
+from repro.swap.entry import SwapEntry
+from repro.swap.partition import SwapPartition
+from repro.swap.swap_cache import SwapCache
+
+__all__ = ["SwapSystemConfig", "BaseSwapSystem", "LinuxSwapSystem"]
+
+
+@dataclass
+class SwapSystemConfig:
+    """Timing and policy knobs shared by all swap-system variants."""
+
+    #: Trap + PTE walk + swap-cache lookup cost per fault.
+    fault_overhead_us: float = 1.5
+    #: Cost of mapping a cached page into the page table.
+    map_in_cost_us: float = 0.8
+    #: Linux 5.5 keeps swap entries of clean pages so they can be dropped
+    #: without writeback (Appendix B).
+    entry_keeping: bool = True
+    #: Entries are only kept while partition occupancy is below this
+    #: threshold (Appendix B: "entry keeping starts when the percentage
+    #: of available swap entries exceeds this threshold").
+    entry_keep_max_occupancy: float = 0.5
+    #: Background reclaim batch (pages evicted per kswapd round).  Small
+    #: batches keep eviction windows short: large batches pile up on the
+    #: allocator lock and lengthen the window in which a warm page can be
+    #: re-faulted mid-writeback.
+    kswapd_batch: int = 4
+    #: Upper bound on outstanding prefetch reads per application.
+    max_inflight_prefetches: int = 64
+    #: Swap cache capacity for the shared baseline cache (pages).
+    shared_cache_pages: int = 16384
+
+
+class BaseSwapSystem:
+    """Mechanism layer of the swap path; policies come from subclasses."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nic: RNIC,
+        telemetry: Optional[Telemetry] = None,
+        config: Optional[SwapSystemConfig] = None,
+        name: str = "swap",
+    ):
+        self.engine = engine
+        self.nic = nic
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.config = config if config is not None else SwapSystemConfig()
+        self.name = name
+        self.apps: Dict[str, AppContext] = {}
+        self._inflight: Dict[Page, Event] = {}
+        self._inflight_req: Dict[Page, RdmaRequest] = {}
+        self._kswapd_kick: Dict[str, Optional[Event]] = {}
+        #: Writebacks in flight per app; kswapd throttles on this so slow
+        #: write paths cannot pin every frame in unfinished writebacks.
+        self._outstanding_writebacks: Dict[str, int] = {}
+        #: Observers called as fn(app_name, thread_id, vpn, start_us,
+        #: end_us) when a fault finishes (tracing / analysis hooks).
+        self.fault_hooks: list = []
+        self.nic.completion_hooks.append(self.telemetry.on_rdma_completion)
+
+    # ------------------------------------------------------------------
+    # Policy hooks (overridden by Linux / Fastswap / Canvas variants)
+    # ------------------------------------------------------------------
+
+    def _setup_app(self, app: AppContext) -> None:
+        """Create/bind per-app swap resources.  Subclass responsibility."""
+        raise NotImplementedError
+
+    def _cache_for(self, app: AppContext, page: Page) -> SwapCache:
+        raise NotImplementedError
+
+    def _allocator_for(self, app: AppContext, page: Page) -> EntryAllocator:
+        raise NotImplementedError
+
+    def _prefetcher_for(self, app: AppContext) -> Prefetcher:
+        raise NotImplementedError
+
+    def _submit_read(self, app: AppContext, request: RdmaRequest) -> None:
+        raise NotImplementedError
+
+    def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
+        raise NotImplementedError
+
+    def _alloc_entry(
+        self, app: AppContext, page: Page, core_id: int
+    ) -> Generator:
+        """Obtain a swap entry for a swap-out (the contended step)."""
+        allocator = self._allocator_for(app, page)
+        start = self.engine.now
+        entry = yield from allocator.allocate(core_id)
+        app.stats.alloc_stall_us += self.engine.now - start
+        self.telemetry.alloc_rate(app.name).record(self.engine.now)
+        return entry
+
+    def _obtain_writeback_entry(
+        self, app: AppContext, page: Page, core_id: int
+    ) -> Generator:
+        """Entry used to write ``page`` out.
+
+        Base behaviour: a dirty page with a stale kept entry releases it
+        first ("once a page becomes dirty, its swap entry must be
+        immediately released", Appendix B), then allocates a fresh one
+        through the lock-protected path.  Canvas overrides this to reuse
+        the page's reserved entry lock-free (§5.1).
+        """
+        if page.swap_entry is not None:
+            self._release_entry(app, page, page.swap_entry)
+            page.swap_entry = None
+        entry = yield from self._alloc_entry(app, page, core_id)
+        return entry
+
+    def _release_entry(self, app: AppContext, page: Page, entry: SwapEntry) -> None:
+        self._allocator_for(app, page).free(entry)
+
+    def _on_mapped(self, app: AppContext, page: Page) -> None:
+        """Entry policy when a page is mapped in from the swap cache."""
+        entry = page.swap_entry
+        if entry is None:
+            return
+        if self.config.entry_keeping:
+            allocator = self._allocator_for(app, page)
+            if allocator.occupancy < self.config.entry_keep_max_occupancy:
+                return  # keep the entry: a clean re-eviction is free
+        self._release_entry(app, page, entry)
+        page.swap_entry = None
+
+    def _on_evicted(self, app: AppContext, page: Page) -> None:
+        """State hook at eviction time (Canvas FSM uses this)."""
+
+    def _post_prefetch_hook(
+        self,
+        app: AppContext,
+        thread_id: int,
+        vpn: int,
+        issued: int,
+        prefetched_hit: bool = False,
+    ) -> None:
+        """Called after kernel-tier prefetching (Canvas two-tier uses it)."""
+
+    def _wait_inflight(
+        self, app: AppContext, page: Page, thread_id: int, event: Event
+    ) -> Generator:
+        """Block until the page's outstanding I/O finishes."""
+        yield event
+
+    # ------------------------------------------------------------------
+    # Registration and setup
+    # ------------------------------------------------------------------
+
+    def register_app(self, app: AppContext) -> None:
+        if app.name in self.apps:
+            raise ValueError(f"app {app.name!r} already registered")
+        self.apps[app.name] = app
+        self._setup_app(app)
+        self._kswapd_kick[app.name] = None
+        self.engine.spawn(self._kswapd_loop(app), name=f"kswapd.{app.name}")
+
+    def prepopulate(self, app: AppContext, resident_fraction: float) -> None:
+        """Install the initial memory layout: the first ``resident_fraction``
+        of each app's pages are local; the rest start swapped out with
+        entries already holding their data (setup costs no simulated time).
+        """
+        pages = [app.space.pages[vpn] for vpn in sorted(app.space.pages)]
+        n_resident = int(len(pages) * resident_fraction)
+        n_resident = min(n_resident, app.pool.capacity_pages)
+        for index, page in enumerate(pages):
+            if index < n_resident:
+                if not app.pool.try_charge(1):
+                    raise RuntimeError(f"{app.name}: local memory too small")
+                page.resident = True
+                app.lru.insert(page)
+            else:
+                page.resident = False
+                allocator = self._allocator_for(app, page)
+                entry = allocator.take_free_untimed()
+                entry.stored_vpn = page.vpn
+                page.swap_entry = entry
+
+    # ------------------------------------------------------------------
+    # Access fast path
+    # ------------------------------------------------------------------
+
+    def access_is_fast(self, app: AppContext, page: Page) -> bool:
+        """True when the access needs no fault handling at all."""
+        return page.resident
+
+    def note_access(self, app: AppContext, page: Page, write: bool) -> None:
+        page.touch(self.engine.now, write)
+        app.lru.note_access(page)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+
+    def handle_fault(
+        self, app: AppContext, thread_id: int, vpn: int, write: bool
+    ) -> Generator:
+        """The §2 fault path.  Yields until the page is mapped."""
+        page = app.space.page(vpn)
+        app.stats.faults += 1
+        start = self.engine.now
+        yield self.engine.timeout(self.config.fault_overhead_us)
+
+        cache = self._cache_for(app, page)
+        first_check = True
+        while not page.resident:
+            entry = page.swap_entry
+            if first_check:
+                cached = cache.lookup(entry) if entry is not None else None
+                if cached is not None:
+                    app.stats.cache_hits += 1
+                    if page.prefetched:
+                        # A prefetched page only *contributes* if it is
+                        # ready (unlocked) when the fault arrives; a late
+                        # prefetch still blocks the thread (§3, Fig. 6).
+                        # The flag is consumed here so one prefetched page
+                        # counts at most one contribution hit, and its
+                        # arrival-to-use gap feeds the §5.3 timeliness
+                        # distribution.
+                        if not page.locked:
+                            app.stats.prefetch_cache_hits += 1
+                            self.telemetry.timeliness_hist(app.name).record(
+                                self.engine.now - page.prefetched_at_us
+                            )
+                            page.prefetched = False
+                        # swap_ra hit: the *prediction* was right either
+                        # way, so feed positive effectiveness back and
+                        # keep the readahead window going (Linux issues
+                        # async readahead on ra hits).
+                        self._issue_prefetches(
+                            app, thread_id, vpn, prefetched_hit=True
+                        )
+                first_check = False
+            else:
+                cached = cache.peek(entry) if entry is not None else None
+
+            inflight_req = self._inflight_req.get(page)
+            writeback_rescue = (
+                cached is not None
+                and page.locked
+                and inflight_req is not None
+                and inflight_req.kind is RequestKind.SWAPOUT
+            )
+            if (cached is not None and not page.locked) or writeback_rescue:
+                # Plain cache hit, or a page whose writeback is still in
+                # flight: the data is local either way, so map it back in
+                # (the write completes harmlessly; Linux reuses swap-cache
+                # pages under writeback the same way).
+                yield self.engine.timeout(self.config.map_in_cost_us)
+                if page.resident:
+                    break  # another waiter mapped it during the timeout
+                if not page.in_swap_cache:
+                    continue  # released during the timeout; re-fetch
+                # Re-evaluate in-flight state: it may have changed during
+                # the timeout (e.g. a new demand read was issued).
+                current = self._inflight_req.get(page)
+                rescuing = (
+                    page.locked
+                    and current is not None
+                    and current.kind is RequestKind.SWAPOUT
+                )
+                if page.locked and not rescuing:
+                    continue
+                self._map_in(app, page, write)
+                if rescuing:
+                    app.stats.writeback_rescues += 1
+                    # Detach the in-flight writeback from the page so a
+                    # later re-eviction can track its own I/O; its
+                    # completion sees itself superseded and does nothing.
+                    del self._inflight_req[page]
+                    stale_event = self._inflight.pop(page, None)
+                    if stale_event is not None and not stale_event.fired:
+                        stale_event.succeed()
+                break
+
+            event = self._inflight.get(page)
+            if event is not None:
+                if page.prefetched:
+                    app.stats.blocked_on_prefetch += 1
+                yield from self._wait_inflight(app, page, thread_id, event)
+                continue  # re-evaluate: mapped by writeback drop, cached, ...
+
+            # Demand swap-in.
+            app.stats.demand_swapins += 1
+            if entry is None:
+                raise RuntimeError(
+                    f"{app.name}: vpn {vpn:#x} non-resident without swap entry"
+                )
+            event = self.engine.event(f"read.{app.name}.{vpn:#x}")
+            self._inflight[page] = event
+            page.locked = True
+            yield from self._charge_frames(app, 1, thread_id)
+            cache.insert(entry, page, prefetched=False)
+            request = RdmaRequest(
+                RdmaOp.READ,
+                RequestKind.DEMAND,
+                app.name,
+                entry,
+                page,
+                completion=self.engine.event(),
+            )
+            self._inflight_req[page] = request
+            request.completion.add_callback(
+                lambda _evt, req=request: self._on_read_complete(app, req)
+            )
+            # §5.3: a demand request clears the entry's prefetch timestamp
+            # so later faulting threads block instead of re-issuing.
+            entry.timestamp_us = None
+            self._submit_read(app, request)
+            self._issue_prefetches(app, thread_id, vpn)
+            yield from self._wait_inflight(app, page, thread_id, event)
+            # Loop: the completion unlocked the page; next pass maps it.
+
+        app.stats.fault_stall_us += self.engine.now - start
+        for hook in self.fault_hooks:
+            hook(app.name, thread_id, vpn, start, self.engine.now)
+
+    def _map_in(self, app: AppContext, page: Page, write: bool) -> None:
+        """Move a swap-cache page into the process address space."""
+        cache = self._cache_for(app, page)
+        if page.in_swap_cache and page.swap_entry is not None:
+            cache.remove(page.swap_entry)
+        if page.prefetched:
+            # A late prefetch (the thread blocked on it): clear the flag
+            # without feeding the timeliness distribution — its
+            # arrival-to-use gap is ~0 by construction and would shrink
+            # the §5.3 threshold spuriously.
+            page.prefetched = False
+        page.resident = True
+        page.locked = False
+        self._on_mapped(app, page)
+        app.lru.insert(page)
+        page.touch(self.engine.now, write)
+
+    def _on_read_complete(self, app: AppContext, request: RdmaRequest) -> None:
+        page = request.page
+        if self._inflight_req.get(page) is not request:
+            # A stale (dropped-in-service) prefetch: discard its data.
+            request.entry.valid = True
+            return
+        del self._inflight_req[page]
+        page.locked = False
+        if request.kind is RequestKind.PREFETCH:
+            page.prefetched_at_us = self.engine.now
+            page.prefetch_timestamp_us = None
+            request.entry.timestamp_us = None
+        event = self._inflight.pop(page, None)
+        if event is not None and not event.fired:
+            event.succeed()
+
+    # ------------------------------------------------------------------
+    # Prefetching
+    # ------------------------------------------------------------------
+
+    def _issue_prefetches(
+        self,
+        app: AppContext,
+        thread_id: int,
+        vpn: int,
+        prefetched_hit: bool = False,
+    ) -> None:
+        prefetcher = self._prefetcher_for(app)
+        proposals = prefetcher.on_fault(
+            app.name, thread_id, vpn, self.engine.now, prefetched_hit=prefetched_hit
+        )
+        issued = self.issue_prefetch_vpns(app, proposals)
+        self._post_prefetch_hook(app, thread_id, vpn, issued, prefetched_hit)
+
+    def issue_prefetch_vpns(
+        self, app: AppContext, vpns: List[int], recycle: bool = True
+    ) -> int:
+        """Issue prefetch reads for valid, absent, not-in-flight pages.
+
+        Returns the number actually issued.  Prefetches never trigger
+        reclaim: when the cgroup has no free frames, proposals may recycle
+        old clean swap-cache pages (``recycle=True``, the kernel tier's
+        behaviour per §2) or are simply dropped (application-tier
+        proposals, which must not cannibalize the kernel tier's cache).
+        """
+        issued = 0
+        # The in-flight window must fit comfortably in the cache that will
+        # buffer the arrivals, or prefetches evict each other before use.
+        cache_cap = self._private_cache(app).capacity_pages
+        limit = min(self.config.max_inflight_prefetches, max(8, cache_cap // 2))
+        budget = limit - self._inflight_prefetches(app)
+        for vpn in vpns:
+            if budget <= 0:
+                break
+            page = app.space.pages.get(vpn)
+            if page is None or page.resident or page.locked:
+                continue
+            entry = page.swap_entry
+            if entry is None or page.in_swap_cache:
+                continue
+            cache = self._cache_for(app, page)
+            if not app.pool.try_charge(1):
+                if not recycle:
+                    app.stats.prefetch_frames_denied += 1
+                    break
+                # "When memory runs low, the kernel releases existing
+                # pages from the swap cache to make room for newly
+                # fetched pages" (§2): recycle old clean cache pages
+                # (typically stale prefetches) before giving up.
+                self._shrink_cache_if_needed(app, force_min=2)
+                self._kick_kswapd(app)
+                if not app.pool.try_charge(1):
+                    app.stats.prefetch_frames_denied += 1
+                    break
+            event = self.engine.event(f"prefetch.{app.name}.{vpn:#x}")
+            self._inflight[page] = event
+            page.locked = True
+            page.prefetch_timestamp_us = self.engine.now
+            cache.insert(entry, page, prefetched=True)
+            request = RdmaRequest(
+                RdmaOp.READ,
+                RequestKind.PREFETCH,
+                app.name,
+                entry,
+                page,
+                completion=self.engine.event(),
+            )
+            self._inflight_req[page] = request
+            request.completion.add_callback(
+                lambda _evt, req=request: self._on_read_complete(app, req)
+            )
+            self._submit_read(app, request)
+            issued += 1
+            budget -= 1
+            app.stats.prefetches_issued += 1
+        self._shrink_cache_if_needed(app)
+        return issued
+
+    def _inflight_prefetches(self, app: AppContext) -> int:
+        return sum(
+            1
+            for page, req in self._inflight_req.items()
+            if req.kind is RequestKind.PREFETCH and req.app_name == app.name
+        )
+
+    # ------------------------------------------------------------------
+    # Reclaim
+    # ------------------------------------------------------------------
+
+    def _charge_frames(
+        self, app: AppContext, n_pages: int, core_id: int
+    ) -> Generator:
+        """Charge the cgroup, running direct reclaim when over budget."""
+        while not app.pool.try_charge(n_pages):
+            app.stats.direct_reclaims += 1
+            freed = self._shrink_cache_if_needed(app, force_min=n_pages)
+            if freed >= n_pages:
+                continue
+            done = yield from self._evict_one(app, core_id, wait_writeback=True)
+            if not done:
+                if self._outstanding_writebacks.get(app.name, 0) > 0:
+                    # Every frame is pinned by an in-flight writeback:
+                    # congestion-wait for completions, then retry.
+                    yield self.engine.timeout(20.0)
+                    continue
+                raise RuntimeError(f"{app.name}: out of memory, nothing evictable")
+        if app.pool.above_low_watermark:
+            self._kick_kswapd(app)
+
+    def _evict_one(
+        self, app: AppContext, core_id: int, wait_writeback: bool
+    ) -> Generator:
+        """Evict one LRU victim.  Returns True if a page was evicted."""
+        victim = app.lru.select_victim()
+        if victim is None:
+            return False
+        victim.resident = False
+        victim.referenced = False
+        self._on_evicted(app, victim)
+        cache = self._cache_for(app, victim)
+
+        if not victim.dirty and victim.swap_entry is not None:
+            # Remote copy still valid (kept entry): drop without writeback.
+            app.pool.uncharge(1)
+            app.stats.clean_drops += 1
+            # Still a swap-out for throughput purposes: the page left
+            # local memory and lives remotely (its write was just free).
+            self.telemetry.swapout_rate(app.name).record(self.engine.now)
+            return True
+
+        # Writeback path: obtain an entry, push through the cache.  The
+        # page must be protected *before* the (possibly lock-waiting)
+        # allocation: a racing fault parks on the in-flight event.
+        victim.locked = True
+        event = self.engine.event(f"writeback.{app.name}.{victim.vpn:#x}")
+        self._inflight[victim] = event
+        entry = yield from self._obtain_writeback_entry(app, victim, core_id)
+        entry.stored_vpn = victim.vpn
+        victim.swap_entry = entry
+        victim.dirty = True  # data must travel
+        cache.insert(entry, victim, prefetched=False)
+        request = RdmaRequest(
+            RdmaOp.WRITE,
+            RequestKind.SWAPOUT,
+            app.name,
+            entry,
+            victim,
+            completion=self.engine.event(),
+        )
+        self._inflight_req[victim] = request
+        request.completion.add_callback(
+            lambda _evt, req=request: self._on_writeback_complete(app, req)
+        )
+        self._outstanding_writebacks[app.name] = (
+            self._outstanding_writebacks.get(app.name, 0) + 1
+        )
+        self._submit_write(app, request)
+        app.stats.swapouts += 1
+        self.telemetry.swapout_rate(app.name).record(self.engine.now)
+        if wait_writeback:
+            # Wait on the request's own completion, not the page's
+            # in-flight event: a rescue may detach the latter.
+            yield request.completion
+        return True
+
+    def _on_writeback_complete(self, app: AppContext, request: RdmaRequest) -> None:
+        page = request.page
+        self._outstanding_writebacks[app.name] = max(
+            0, self._outstanding_writebacks.get(app.name, 0) - 1
+        )
+        if self._inflight_req.get(page) is not request:
+            return  # superseded: the page was rescued and re-evicted
+        del self._inflight_req[page]
+        event = self._inflight.pop(page, None)
+        if not page.resident:
+            # A rescued (resident) page keeps its frame and dirty state;
+            # otherwise the page leaves the cache and frees its frame.
+            page.dirty = False
+            page.locked = False
+            if page.in_swap_cache and page.swap_entry is not None:
+                cache = self._cache_for(app, page)
+                cache.discard(page.swap_entry)
+                app.pool.uncharge(1)
+        if event is not None and not event.fired:
+            event.succeed()
+
+    def _shrink_cache_if_needed(self, app: AppContext, force_min: int = 0) -> int:
+        """Release clean over-budget swap-cache pages; returns pages freed.
+
+        ``force_min`` releases pages even below budget — the "when memory
+        runs low, the kernel releases existing pages from the swap cache"
+        path of §2, used by direct reclaim.
+        """
+        cache = self._private_cache(app)
+        target = max(cache.overflow, force_min)
+        if target <= 0:
+            return 0
+        freed = 0
+        for entry_id, page in cache.shrink_candidates(target * 2):
+            if freed >= target:
+                break
+            if page.dirty or page.locked:
+                continue
+            cache.release(entry_id)
+            owner = self.apps.get(page.owner_name, app)
+            owner.pool.uncharge(1)
+            freed += 1
+        return freed
+
+    def _private_cache(self, app: AppContext) -> SwapCache:
+        """The swap cache holding this app's private pages."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # kswapd
+    # ------------------------------------------------------------------
+
+    def _kick_kswapd(self, app: AppContext) -> None:
+        event = self._kswapd_kick.get(app.name)
+        if event is not None and not event.fired:
+            event.succeed()
+
+    def _kswapd_loop(self, app: AppContext) -> Generator:
+        while True:
+            if app.pool.reclaim_target() <= 0:
+                event = self.engine.event(f"kswapd.{app.name}.kick")
+                self._kswapd_kick[app.name] = event
+                yield event
+                self._kswapd_kick[app.name] = None
+                continue
+            # Scale the batch with backlog (kswapd raises its scan
+            # priority under pressure) but keep it small enough that the
+            # eviction window stays short, and cap outstanding writebacks
+            # so a congested write path cannot pin every frame.
+            outstanding = self._outstanding_writebacks.get(app.name, 0)
+            writeback_cap = max(8, app.pool.capacity_pages // 8)
+            if outstanding >= writeback_cap:
+                yield self.engine.timeout(10.0)
+                continue
+            target = app.pool.reclaim_target()
+            batch = min(4 * self.config.kswapd_batch, max(self.config.kswapd_batch, target // 4))
+            batch = min(batch, target, writeback_cap - outstanding)
+            app.stats.kswapd_reclaims += batch
+            # kswapd is one kernel thread: it evicts its batch serially
+            # (each writeback is issued asynchronously, so the wire still
+            # pipelines); only faulting threads add allocation concurrency.
+            for _ in range(batch):
+                yield from self._evict_one(app, 0, wait_writeback=False)
+            # Writebacks issued; give completions a chance to land before
+            # the next round so the target reflects reality.
+            yield self.engine.timeout(8.0)
+
+
+class LinuxSwapSystem(BaseSwapSystem):
+    """The Linux 5.5 baseline: everything shared.
+
+    One swap partition with a lock-protected free-list allocator, one
+    swap cache, one prefetcher instance fed by every application's fault
+    stream, and one pair of RDMA QPs — the configuration whose
+    interference §3 dissects.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        nic: RNIC,
+        partition_pages: int,
+        prefetcher: Optional[Prefetcher] = None,
+        telemetry: Optional[Telemetry] = None,
+        config: Optional[SwapSystemConfig] = None,
+        allocator_cls=FreeListAllocator,
+        name: str = "linux",
+    ):
+        super().__init__(engine, nic, telemetry, config, name)
+        self.partition = SwapPartition(f"{name}.swap", partition_pages)
+        self.allocator = allocator_cls(engine, self.partition, name=f"{name}.alloc")
+        self.cache = SwapCache(f"{name}.cache", self.config.shared_cache_pages)
+        self.prefetcher = prefetcher if prefetcher is not None else Prefetcher()
+        self.read_qp = nic.create_qp(f"{name}.read", RdmaOp.READ, priority=0)
+        self.write_qp = nic.create_qp(f"{name}.write", RdmaOp.WRITE, priority=0)
+
+    def _setup_app(self, app: AppContext) -> None:
+        pass  # nothing per-app: that is the point of this baseline
+
+    def _cache_for(self, app: AppContext, page: Page) -> SwapCache:
+        return self.cache
+
+    def _private_cache(self, app: AppContext) -> SwapCache:
+        return self.cache
+
+    def _allocator_for(self, app: AppContext, page: Page) -> EntryAllocator:
+        return self.allocator
+
+    def _prefetcher_for(self, app: AppContext) -> Prefetcher:
+        return self.prefetcher
+
+    def _submit_read(self, app: AppContext, request: RdmaRequest) -> None:
+        self.nic.submit(self.read_qp, request)
+
+    def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
+        self.nic.submit(self.write_qp, request)

@@ -1,0 +1,118 @@
+"""Virtual address spaces and VMAs.
+
+The simulation works at page granularity: an :class:`AddressSpace` maps
+virtual page numbers (VPNs) to :class:`~repro.mem.page.Page` objects and
+groups them into :class:`VMA` regions.  VMAs matter for two reasons in the
+paper's setting: the kernel's readahead state is per-VMA (the "per-VMA
+prefetching policy" in §6's Linux tuning), and shared VMAs force pages onto
+the global swap path (§4, Handling of Shared Pages).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.mem.page import Page
+
+__all__ = ["VMA", "AddressSpace"]
+
+
+class VMA:
+    """A contiguous virtual memory area."""
+
+    def __init__(self, start_vpn: int, n_pages: int, name: str = "", shared: bool = False):
+        if n_pages <= 0:
+            raise ValueError(f"VMA needs at least one page, got {n_pages}")
+        self.start_vpn = start_vpn
+        self.n_pages = n_pages
+        self.name = name
+        self.shared = shared
+        #: Scratch slot for per-VMA readahead window state (owned by the
+        #: kernel prefetcher; kept here because the kernel stores it on the
+        #: VMA too).
+        self.readahead_state: Optional[object] = None
+
+    @property
+    def end_vpn(self) -> int:
+        """One past the last VPN."""
+        return self.start_vpn + self.n_pages
+
+    def contains(self, vpn: int) -> bool:
+        return self.start_vpn <= vpn < self.end_vpn
+
+    def vpns(self) -> Iterator[int]:
+        return iter(range(self.start_vpn, self.end_vpn))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VMA({self.name!r}, [{self.start_vpn:#x}, {self.end_vpn:#x}))"
+
+
+class AddressSpace:
+    """Per-process page-granular address space.
+
+    Regions are laid out by a bump allocator with guard gaps so that VPNs
+    from different regions never collide, mirroring mmap behaviour closely
+    enough for access-pattern purposes.
+    """
+
+    #: Gap (in pages) left between consecutively mapped regions.
+    GUARD_PAGES = 16
+
+    def __init__(self, name: str):
+        self.name = name
+        self.vmas: List[VMA] = []
+        self.pages: Dict[int, Page] = {}
+        self._next_vpn = 0x1000  # skip the NULL guard area
+
+    # -- mapping ---------------------------------------------------------
+
+    def map_region(self, n_pages: int, name: str = "", shared: bool = False) -> VMA:
+        """Map a fresh anonymous region and materialize its pages."""
+        vma = VMA(self._next_vpn, n_pages, name=name, shared=shared)
+        self._next_vpn = vma.end_vpn + self.GUARD_PAGES
+        self.vmas.append(vma)
+        for vpn in vma.vpns():
+            self.pages[vpn] = Page(vpn, owner_name=self.name)
+        return vma
+
+    def map_shared_from(self, other: "AddressSpace", vma: VMA, name: str = "") -> VMA:
+        """Map ``vma`` of ``other`` into this space, sharing its pages.
+
+        The pages' mapcount is incremented, which routes them onto the
+        global swap partition (§4).
+        """
+        mirror = VMA(vma.start_vpn, vma.n_pages, name=name or vma.name, shared=True)
+        vma.shared = True
+        self.vmas.append(mirror)
+        for vpn in vma.vpns():
+            page = other.pages[vpn]
+            page.mapcount += 1
+            self.pages[vpn] = page
+        return mirror
+
+    # -- lookup ----------------------------------------------------------
+
+    def page(self, vpn: int) -> Page:
+        try:
+            return self.pages[vpn]
+        except KeyError:
+            raise KeyError(f"{self.name}: unmapped vpn {vpn:#x}") from None
+
+    def find_vma(self, vpn: int) -> Optional[VMA]:
+        for vma in self.vmas:
+            if vma.contains(vpn):
+                return vma
+        return None
+
+    # -- statistics --------------------------------------------------------
+
+    @property
+    def total_pages(self) -> int:
+        return len(self.pages)
+
+    @property
+    def resident_pages(self) -> int:
+        return sum(1 for page in self.pages.values() if page.resident)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"AddressSpace({self.name!r}, {len(self.vmas)} VMAs, {len(self.pages)} pages)"

@@ -1,0 +1,87 @@
+"""Local-memory frame accounting.
+
+A :class:`FramePool` models the physical-frame budget a cgroup grants an
+application (its "local memory" in the paper's 25% / 50% configurations).
+Faulted-in pages and swap-cache pages are charged here; eviction and
+swap-cache shrinking uncharge.  Watermarks trigger reclaim the way kernel
+zone watermarks wake kswapd.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FramePoolStats", "FramePool"]
+
+
+@dataclass
+class FramePoolStats:
+    charges: int = 0
+    uncharges: int = 0
+    failed_charges: int = 0
+    peak_used: int = 0
+
+
+class FramePool:
+    """A bounded pool of physical page frames."""
+
+    def __init__(
+        self,
+        capacity_pages: int,
+        name: str = "frames",
+        low_watermark_fraction: float = 0.90,
+        high_watermark_fraction: float = 0.98,
+    ):
+        if capacity_pages <= 0:
+            raise ValueError(f"frame pool needs capacity > 0, got {capacity_pages}")
+        if not 0.0 < low_watermark_fraction <= high_watermark_fraction <= 1.0:
+            raise ValueError("watermarks must satisfy 0 < low <= high <= 1")
+        self.name = name
+        self.capacity_pages = capacity_pages
+        self.used = 0
+        self.low_watermark = int(capacity_pages * low_watermark_fraction)
+        self.high_watermark = int(capacity_pages * high_watermark_fraction)
+        self.stats = FramePoolStats()
+
+    @property
+    def free(self) -> int:
+        return self.capacity_pages - self.used
+
+    @property
+    def above_low_watermark(self) -> bool:
+        """True once background reclaim should start."""
+        return self.used >= self.low_watermark
+
+    @property
+    def above_high_watermark(self) -> bool:
+        """True when allocations must reclaim synchronously."""
+        return self.used >= self.high_watermark
+
+    def try_charge(self, n_pages: int = 1) -> bool:
+        """Charge ``n_pages`` frames; returns False (uncharged) on overcommit."""
+        if n_pages < 0:
+            raise ValueError(f"negative charge: {n_pages}")
+        if self.used + n_pages > self.capacity_pages:
+            self.stats.failed_charges += 1
+            return False
+        self.used += n_pages
+        self.stats.charges += n_pages
+        self.stats.peak_used = max(self.stats.peak_used, self.used)
+        return True
+
+    def uncharge(self, n_pages: int = 1) -> None:
+        if n_pages < 0:
+            raise ValueError(f"negative uncharge: {n_pages}")
+        if n_pages > self.used:
+            raise ValueError(
+                f"{self.name}: uncharge {n_pages} exceeds used {self.used}"
+            )
+        self.used -= n_pages
+        self.stats.uncharges += n_pages
+
+    def reclaim_target(self) -> int:
+        """How many frames reclaim should free to drop below the low mark."""
+        return max(0, self.used - self.low_watermark)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"FramePool({self.name!r}, {self.used}/{self.capacity_pages})"

@@ -1,0 +1,155 @@
+"""LRU page lists, mirroring the kernel's active/inactive split.
+
+The kernel keeps two lists per memory cgroup.  Newly faulted pages enter
+the inactive list; a referenced inactive page is promoted to the active
+list; reclaim shrinks the inactive tail and demotes active pages when the
+inactive list runs short.  Canvas's hot-page detector (§5.1) periodically
+scans the *head* of the active list, so :class:`LRUList` exposes that scan.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from repro.mem.page import Page
+
+__all__ = ["LRUList", "ActiveInactiveLRU"]
+
+
+class LRUList:
+    """An ordered list of pages, most-recently-used at the head.
+
+    Backed by an :class:`OrderedDict` so every operation the simulation
+    performs (insert, remove, promote, pop-tail, head scan) is O(1) or
+    O(scan length).
+    """
+
+    def __init__(self, name: str = "lru"):
+        self.name = name
+        # OrderedDict iterates oldest-first; we keep MRU at the *end* and
+        # treat the end as the "head" of the kernel list.
+        self._pages: "OrderedDict[Page, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, page: Page) -> bool:
+        return page in self._pages
+
+    def __iter__(self) -> Iterator[Page]:
+        """Iterate LRU-first (tail to head)."""
+        return iter(self._pages)
+
+    def add_to_head(self, page: Page) -> None:
+        if page in self._pages:
+            raise ValueError(f"page {page.vpn:#x} already on {self.name}")
+        self._pages[page] = None
+
+    def move_to_head(self, page: Page) -> None:
+        self._pages.move_to_end(page)
+
+    def remove(self, page: Page) -> None:
+        del self._pages[page]
+
+    def discard(self, page: Page) -> bool:
+        """Remove if present; returns whether the page was on the list."""
+        if page in self._pages:
+            del self._pages[page]
+            return True
+        return False
+
+    def pop_tail(self) -> Optional[Page]:
+        """Remove and return the least-recently-used page."""
+        if not self._pages:
+            return None
+        page, _ = self._pages.popitem(last=False)
+        return page
+
+    def peek_tail(self) -> Optional[Page]:
+        if not self._pages:
+            return None
+        return next(iter(self._pages))
+
+    def head_pages(self, count: int) -> List[Page]:
+        """The ``count`` most-recently-used pages, MRU first.
+
+        This is the scan Canvas's hot-page detector performs on the active
+        list (§5.1): "each scan identifies a set of pages from the head".
+        """
+        result: List[Page] = []
+        for page in reversed(self._pages):
+            if len(result) >= count:
+                break
+            result.append(page)
+        return result
+
+
+class ActiveInactiveLRU:
+    """The two-list page aging structure used for reclaim decisions."""
+
+    def __init__(self, name: str = "memcg"):
+        self.name = name
+        self.active = LRUList(f"{name}.active")
+        self.inactive = LRUList(f"{name}.inactive")
+
+    def __len__(self) -> int:
+        return len(self.active) + len(self.inactive)
+
+    def __contains__(self, page: Page) -> bool:
+        return page in self.active or page in self.inactive
+
+    def insert(self, page: Page) -> None:
+        """A newly faulted-in page starts on the inactive list."""
+        self.inactive.add_to_head(page)
+
+    def note_access(self, page: Page) -> None:
+        """Promote a referenced inactive page; refresh an active one."""
+        if page in self.active:
+            self.active.move_to_head(page)
+        elif page in self.inactive:
+            self.inactive.remove(page)
+            self.active.add_to_head(page)
+        else:
+            raise ValueError(f"page {page.vpn:#x} not on {self.name} LRU")
+
+    def remove(self, page: Page) -> None:
+        if not self.active.discard(page):
+            self.inactive.remove(page)
+
+    def discard(self, page: Page) -> bool:
+        return self.active.discard(page) or self.inactive.discard(page)
+
+    def balance(self, target_inactive_fraction: float = 0.5) -> int:
+        """Demote active-tail pages until the inactive list holds at least
+        ``target_inactive_fraction`` of all pages.  Returns demotions."""
+        total = len(self)
+        demoted = 0
+        while total and len(self.inactive) < total * target_inactive_fraction:
+            page = self.active.pop_tail()
+            if page is None:
+                break
+            page.referenced = False
+            self.inactive.add_to_head(page)
+            demoted += 1
+        return demoted
+
+    def select_victim(self) -> Optional[Page]:
+        """Pick an eviction victim from the inactive tail.
+
+        A referenced tail page gets a second chance (rotated to the
+        inactive head with its referenced bit cleared), as in the kernel.
+        """
+        for _ in range(len(self.inactive) + 1):
+            page = self.inactive.pop_tail()
+            if page is None:
+                break
+            if page.referenced:
+                page.referenced = False
+                self.inactive.add_to_head(page)
+                continue
+            return page
+        # Fall back to aging the active list.
+        self.balance()
+        page = self.inactive.pop_tail()
+        return page

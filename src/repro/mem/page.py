@@ -1,0 +1,120 @@
+"""Pages and page metadata.
+
+A :class:`Page` models one 4 KB virtual page together with the kernel
+metadata the swap path reads and writes: the PTE's swap entry (set while
+the page is swapped out), the ``struct page`` fields Canvas adds (the
+reserved swap-entry ID of §5.1), residency/dirty/referenced bits, the
+mapcount used to route shared pages to the global swap partition, and the
+page lock held while swap I/O is in flight.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.swap.entry import SwapEntry
+
+__all__ = ["PAGE_SIZE", "PAGE_SHIFT", "PageState", "Page"]
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+_page_ids = itertools.count()
+
+
+class PageState(enum.Enum):
+    """States of the Canvas §5.1 page/reservation FSM (Fig. 7).
+
+    The paper's state machine distinguishes pages by (a) whether they are
+    resident or evicted and (b) whether they carry a reserved swap entry
+    in their ``struct page``:
+
+    * ``HOT_NO_RESERVATION``  - resident, reservation removed (state 3)
+    * ``RESIDENT_RESERVED``   - resident with a reserved entry (state 4)
+    * ``COLD_NO_RESERVATION`` - evicted, no reservation: swap-out goes
+      through the lock-protected allocator (state 2)
+    * ``COLD_RESERVED``       - evicted, entry ID remembered: swap-out is
+      lock-free (state 5)
+    * ``NEW``                 - never swapped out (state 1)
+    """
+
+    NEW = "new"
+    RESIDENT_RESERVED = "resident_reserved"
+    HOT_NO_RESERVATION = "hot_no_reservation"
+    COLD_RESERVED = "cold_reserved"
+    COLD_NO_RESERVATION = "cold_no_reservation"
+
+
+class Page:
+    """One virtual 4 KB page and its kernel-visible metadata."""
+
+    __slots__ = (
+        "page_id",
+        "vpn",
+        "owner_name",
+        "resident",
+        "dirty",
+        "referenced",
+        "mapcount",
+        "swap_entry",
+        "reserved_entry",
+        "in_swap_cache",
+        "locked",
+        "state",
+        "last_access_us",
+        "hot_score",
+        "prefetched",
+        "prefetched_at_us",
+        "prefetch_timestamp_us",
+    )
+
+    def __init__(self, vpn: int, owner_name: str = "", mapcount: int = 1):
+        self.page_id: int = next(_page_ids)
+        self.vpn = vpn
+        self.owner_name = owner_name
+        self.resident = True
+        self.dirty = False
+        self.referenced = False
+        self.mapcount = mapcount
+        #: PTE contents while swapped out (None when resident).
+        self.swap_entry: Optional["SwapEntry"] = None
+        #: Canvas: entry ID remembered in struct page (§5.1 reservation).
+        self.reserved_entry: Optional["SwapEntry"] = None
+        self.in_swap_cache = False
+        #: Page lock held while swap I/O is outstanding.
+        self.locked = False
+        self.state = PageState.NEW
+        self.last_access_us = 0.0
+        #: Consecutive LRU-head scans in which this page appeared (§5.1).
+        self.hot_score = 0
+        #: True if the page currently in the swap cache arrived via prefetch.
+        self.prefetched = False
+        self.prefetched_at_us = 0.0
+        #: Timestamp written when a prefetch for this page entered a VQP
+        #: (§5.3 stale-prefetch detection); None when no prefetch pending.
+        self.prefetch_timestamp_us: Optional[float] = None
+
+    @property
+    def shared(self) -> bool:
+        """Shared pages (mapcount > 1) must use the global swap path (§4)."""
+        return self.mapcount > 1
+
+    @property
+    def has_reservation(self) -> bool:
+        return self.reserved_entry is not None
+
+    def touch(self, now_us: float, write: bool = False) -> None:
+        """Record an access: set referenced (and dirty for writes)."""
+        self.referenced = True
+        self.last_access_us = now_us
+        if write:
+            self.dirty = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Page(vpn={self.vpn:#x}, owner={self.owner_name!r}, "
+            f"resident={self.resident}, state={self.state.value})"
+        )

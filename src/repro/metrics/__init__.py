@@ -1,0 +1,19 @@
+"""Telemetry: histograms, rate/bandwidth meters, fairness, report formatting."""
+
+from repro.metrics.collectors import (
+    BandwidthMeter,
+    Histogram,
+    RateMeter,
+    weighted_min_max_ratio,
+)
+from repro.metrics.report import format_cdf, format_series, format_table
+
+__all__ = [
+    "BandwidthMeter",
+    "Histogram",
+    "RateMeter",
+    "weighted_min_max_ratio",
+    "format_cdf",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,208 @@
+"""Measurement collectors used across the simulation.
+
+The paper's evaluation reports throughput time-series (Figs. 4, 5),
+latency CDFs (Figs. 6, 14), rates (Figs. 13, 16) and fairness metrics
+(§6.4.3).  These collectors gather the raw samples with minimal overhead
+on the simulation's hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Histogram", "RateMeter", "BandwidthMeter", "weighted_min_max_ratio"]
+
+
+class Histogram:
+    """A sample reservoir with exact quantiles (samples kept in memory).
+
+    Simulated experiments produce 1e4-1e6 samples, which comfortably fit;
+    ``max_samples`` caps memory with uniform thinning if exceeded.
+    """
+
+    def __init__(self, name: str = "", max_samples: int = 2_000_000):
+        self.name = name
+        self.max_samples = max_samples
+        self._samples: List[float] = []
+        self._sorted: Optional[np.ndarray] = None
+        self.count = 0
+        self.total = 0.0
+        self.max_value = -math.inf
+        self.min_value = math.inf
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+        if len(self._samples) < self.max_samples:
+            self._samples.append(value)
+            self._sorted = None
+        elif self.count % 2 == 0:  # thin deterministically once full
+            self._samples[self.count % self.max_samples] = value
+            self._sorted = None
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def _ensure_sorted(self) -> np.ndarray:
+        if self._sorted is None:
+            self._sorted = np.sort(np.asarray(self._samples, dtype=float))
+        return self._sorted
+
+    def percentile(self, q: float) -> float:
+        """q in [0, 100]."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(self._ensure_sorted(), q))
+
+    def cdf(self, points: Optional[Sequence[float]] = None) -> List[Tuple[float, float]]:
+        """(value, P[X <= value]) pairs, at sample values or given points."""
+        data = self._ensure_sorted()
+        if data.size == 0:
+            return []
+        if points is None:
+            points = np.unique(data)
+        n = data.size
+        return [(float(p), float(np.searchsorted(data, p, side="right")) / n) for p in points]
+
+    def fraction_above(self, threshold: float) -> float:
+        data = self._ensure_sorted()
+        if data.size == 0:
+            return 0.0
+        index = bisect_right(data.tolist(), threshold)
+        return 1.0 - index / data.size
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2 or not self._samples:
+            return 0.0
+        return float(np.std(np.asarray(self._samples, dtype=float), ddof=1))
+
+
+class RateMeter:
+    """Counts events into fixed time bins → an events/second series."""
+
+    def __init__(self, bin_us: float = 100_000.0, name: str = ""):
+        if bin_us <= 0:
+            raise ValueError("bin width must be positive")
+        self.name = name
+        self.bin_us = bin_us
+        self._bins: Dict[int, float] = {}
+        self.total = 0.0
+
+    def record(self, now_us: float, count: float = 1.0) -> None:
+        self._bins[int(now_us // self.bin_us)] = (
+            self._bins.get(int(now_us // self.bin_us), 0.0) + count
+        )
+        self.total += count
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(bin start time in µs, events per second) pairs."""
+        per_second = 1e6 / self.bin_us
+        return [
+            (index * self.bin_us, count * per_second)
+            for index, count in sorted(self._bins.items())
+        ]
+
+    def mean_rate_per_second(self, elapsed_us: float) -> float:
+        if elapsed_us <= 0:
+            return 0.0
+        return self.total / (elapsed_us / 1e6)
+
+    def peak_rate_per_second(self) -> float:
+        if not self._bins:
+            return 0.0
+        return max(count for count in self._bins.values()) * (1e6 / self.bin_us)
+
+
+class BandwidthMeter:
+    """Byte counts per (stream, time-bin) → MB/s series per stream.
+
+    Streams are usually application names; the Fig. 5 "total" line is the
+    sum across streams.
+    """
+
+    def __init__(self, bin_us: float = 100_000.0):
+        if bin_us <= 0:
+            raise ValueError("bin width must be positive")
+        self.bin_us = bin_us
+        self._bins: Dict[str, Dict[int, float]] = {}
+        self.totals: Dict[str, float] = {}
+
+    def record(self, stream: str, now_us: float, n_bytes: int) -> None:
+        bins = self._bins.setdefault(stream, {})
+        index = int(now_us // self.bin_us)
+        bins[index] = bins.get(index, 0.0) + n_bytes
+        self.totals[stream] = self.totals.get(stream, 0.0) + n_bytes
+
+    def streams(self) -> List[str]:
+        return sorted(self._bins)
+
+    def series_mbps(self, stream: str) -> List[Tuple[float, float]]:
+        bins = self._bins.get(stream, {})
+        scale = 1e6 / self.bin_us / 1e6  # bytes/bin -> bytes/s -> MB/s
+        return [(i * self.bin_us, b * scale) for i, b in sorted(bins.items())]
+
+    def mean_mbps(self, stream: str, elapsed_us: float) -> float:
+        if elapsed_us <= 0:
+            return 0.0
+        return self.totals.get(stream, 0.0) / elapsed_us  # bytes/µs == MB/s
+
+    def total_until(self, stream: str, until_us: float) -> float:
+        """Bytes transferred by ``stream`` in [0, until_us).
+
+        Used for fairness metrics that must only cover the window where
+        every application was still running.
+        """
+        bins = self._bins.get(stream, {})
+        limit = int(until_us // self.bin_us)
+        return sum(b for i, b in bins.items() if i < limit)
+
+    def total_mean_mbps(self, elapsed_us: float) -> float:
+        if elapsed_us <= 0:
+            return 0.0
+        return sum(self.totals.values()) / elapsed_us
+
+    def peak_total_mbps(self) -> float:
+        combined: Dict[int, float] = {}
+        for bins in self._bins.values():
+            for index, n_bytes in bins.items():
+                combined[index] = combined.get(index, 0.0) + n_bytes
+        if not combined:
+            return 0.0
+        return max(combined.values()) / self.bin_us  # bytes/µs == MB/s
+
+
+def weighted_min_max_ratio(
+    consumptions: Dict[str, float], weights: Dict[str, float]
+) -> float:
+    """The paper's bandwidth-fairness metric: min(x_i/w_i) / max(x_i/w_i).
+
+    1.0 means perfectly weighted-fair; 0 means some application was starved.
+    """
+    normalized = []
+    for name, consumption in consumptions.items():
+        weight = weights.get(name, 1.0)
+        if weight <= 0:
+            raise ValueError(f"non-positive weight for {name!r}")
+        normalized.append(consumption / weight)
+    if not normalized:
+        return 1.0
+    top = max(normalized)
+    if top == 0:
+        return 1.0
+    return min(normalized) / top

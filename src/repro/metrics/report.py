@@ -1,0 +1,62 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; these helpers keep that output aligned and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["format_table", "format_series", "format_cdf"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned monospace table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str, series: Dict[str, List[Tuple[float, float]]], unit: str = ""
+) -> str:
+    """Render named (x, y) series as labelled rows (one line per point set)."""
+    lines = [title]
+    for name in sorted(series):
+        points = series[name]
+        rendered = ", ".join(f"({x:,.0f}, {y:,.1f})" for x, y in points)
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {name}{suffix}: {rendered}")
+    return "\n".join(lines)
+
+
+def format_cdf(title: str, percentiles: Dict[str, Dict[str, float]]) -> str:
+    """Render per-series percentile summaries of a latency CDF."""
+    headers = ["series"] + sorted(next(iter(percentiles.values())).keys()) if percentiles else []
+    rows = []
+    for name in sorted(percentiles):
+        row = [name] + [percentiles[name][k] for k in headers[1:]]
+        rows.append(row)
+    return title + "\n" + format_table(headers, rows)

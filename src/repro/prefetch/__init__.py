@@ -1,0 +1,18 @@
+"""Prefetching policies: kernel readahead, Leap, per-thread, reference graph."""
+
+from repro.prefetch.base import Prefetcher, PrefetcherStats
+from repro.prefetch.leap import LeapPrefetcher, majority_vote
+from repro.prefetch.readahead import KernelReadahead
+from repro.prefetch.reference_graph import PageGroupGraph, ReferenceGraphPrefetcher
+from repro.prefetch.thread_pattern import ThreadPatternPrefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetcherStats",
+    "LeapPrefetcher",
+    "majority_vote",
+    "KernelReadahead",
+    "PageGroupGraph",
+    "ReferenceGraphPrefetcher",
+    "ThreadPatternPrefetcher",
+]

@@ -1,0 +1,60 @@
+"""Prefetcher interface.
+
+A prefetcher observes the page-fault stream and proposes victim VPNs to
+fetch ahead of demand.  The fault handler owns the mechanics (allocating
+cache pages, issuing RDMA reads); prefetchers are pure policy:
+
+    vpns = prefetcher.on_fault(app, thread_id, vpn, now_us)
+
+Effectiveness metrics (contribution/accuracy, Table 5) are *not* computed
+here — they fall out of swap-cache hit accounting — but each prefetcher
+tracks how many pages it proposed, which the two-tier controller (§5.2)
+uses as its "is the kernel tier succeeding?" signal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["PrefetcherStats", "Prefetcher"]
+
+
+@dataclass
+class PrefetcherStats:
+    faults_observed: int = 0
+    pages_proposed: int = 0
+    patterns_found: int = 0
+    no_pattern: int = 0
+
+
+class Prefetcher:
+    """Base class: the null prefetcher (never proposes anything)."""
+
+    def __init__(self, name: str = "none"):
+        self.name = name
+        self.stats = PrefetcherStats()
+
+    def on_fault(
+        self,
+        app_name: str,
+        thread_id: int,
+        vpn: int,
+        now_us: float,
+        prefetched_hit: bool = False,
+    ) -> List[int]:
+        """Return VPNs to prefetch in response to a fault at ``vpn``.
+
+        ``prefetched_hit`` is the kernel's feedback signal: the fault
+        landed on a page an earlier prefetch brought in (swap_ra hit).
+        """
+        self.stats.faults_observed += 1
+        return []
+
+    def _propose(self, vpns: List[int]) -> List[int]:
+        self.stats.pages_proposed += len(vpns)
+        if vpns:
+            self.stats.patterns_found += 1
+        else:
+            self.stats.no_pattern += 1
+        return vpns

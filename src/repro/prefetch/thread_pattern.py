@@ -1,0 +1,78 @@
+"""Per-thread pattern analysis (Canvas application-tier pattern 2, §5.2).
+
+The same majority-vote machinery as Leap, but with the fault history
+**segregated by thread**: "Segregated addresses allow us to analyze
+(sequential/strided) patterns on a per-thread basis (using Leap's
+majority-vote algorithm)."  For JVM applications the thread IDs arriving
+here have already been filtered through the runtime's user→kernel thread
+map, so GC/JIT threads never pollute a worker thread's window; for native
+applications kernel thread IDs are used directly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.prefetch.base import Prefetcher
+from repro.prefetch.leap import majority_vote
+
+__all__ = ["ThreadPatternPrefetcher"]
+
+
+class ThreadPatternPrefetcher(Prefetcher):
+    """Majority-vote stride detection on per-thread fault streams."""
+
+    def __init__(
+        self,
+        name: str = "thread-pattern",
+        history: int = 16,
+        max_window: int = 8,
+        min_votes: int = 3,
+    ):
+        super().__init__(name)
+        self.history = history
+        self.max_window = max_window
+        self.min_votes = min_votes
+        self._histories: Dict[Tuple[str, int], Deque[int]] = {}
+        self._prev_vpn: Dict[Tuple[str, int], int] = {}
+        self._window: Dict[Tuple[str, int], int] = {}
+
+    def observe(self, app_name: str, thread_id: int, vpn: int) -> None:
+        """Feed one faulting address without producing a proposal."""
+        key = (app_name, thread_id)
+        history = self._histories.setdefault(key, deque(maxlen=self.history))
+        prev = self._prev_vpn.get(key)
+        self._prev_vpn[key] = vpn
+        if prev is not None:
+            history.append(vpn - prev)
+
+    def trend(self, app_name: str, thread_id: int) -> Optional[int]:
+        """The thread's current majority stride, if any."""
+        history = self._histories.get((app_name, thread_id))
+        if history is None or len(history) < self.min_votes:
+            return None
+        vote = majority_vote(list(history))
+        if vote == 0:
+            return None
+        return vote
+
+    def on_fault(
+        self,
+        app_name: str,
+        thread_id: int,
+        vpn: int,
+        now_us: float,
+        prefetched_hit: bool = False,
+    ) -> List[int]:
+        self.stats.faults_observed += 1
+        self.observe(app_name, thread_id, vpn)
+        stride = self.trend(app_name, thread_id)
+        key = (app_name, thread_id)
+        window = self._window.get(key, 2)
+        if stride is None:
+            self._window[key] = max(1, window // 2)
+            return self._propose([])
+        window = min(self.max_window, window * 2)
+        self._window[key] = window
+        return self._propose([vpn + stride * i for i in range(1, window + 1)])

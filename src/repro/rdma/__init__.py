@@ -1,0 +1,27 @@
+"""RDMA substrate: requests, NIC/fabric model, physical and virtual QPs."""
+
+from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
+from repro.rdma.nic import (
+    DEFAULT_BANDWIDTH_BYTES_PER_US,
+    DEFAULT_BASE_LATENCY_US,
+    DEFAULT_VERB_OVERHEAD_US,
+    RNIC,
+    DirectionalChannel,
+    NicStats,
+    PhysicalQP,
+)
+from repro.rdma.vqp import VirtualQP
+
+__all__ = [
+    "RdmaOp",
+    "RdmaRequest",
+    "RequestKind",
+    "RNIC",
+    "DirectionalChannel",
+    "NicStats",
+    "PhysicalQP",
+    "VirtualQP",
+    "DEFAULT_BANDWIDTH_BYTES_PER_US",
+    "DEFAULT_BASE_LATENCY_US",
+    "DEFAULT_VERB_OVERHEAD_US",
+]

@@ -1,0 +1,94 @@
+"""RDMA request descriptors.
+
+Every swap I/O becomes one :class:`RdmaRequest`: a read for swap-ins
+(demand or prefetch) or a write for swap-outs.  Requests carry the
+timestamps needed for the paper's latency CDFs (Fig. 6, Fig. 14):
+``enqueued_at_us`` when the kernel pushes the request into a queue pair,
+``issued_at_us`` when the NIC starts serving it, and ``completed_at_us``
+when the data lands.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from repro.mem.page import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mem.page import Page
+    from repro.sim.engine import Event
+    from repro.swap.entry import SwapEntry
+
+__all__ = ["RdmaOp", "RequestKind", "RdmaRequest"]
+
+_request_ids = itertools.count()
+
+
+class RdmaOp(enum.Enum):
+    READ = "read"  # swap-in: remote -> local
+    WRITE = "write"  # swap-out: local -> remote
+
+
+class RequestKind(enum.Enum):
+    DEMAND = "demand"
+    PREFETCH = "prefetch"
+    SWAPOUT = "swapout"
+
+
+class RdmaRequest:
+    """One page-sized RDMA verb plus its bookkeeping."""
+
+    __slots__ = (
+        "request_id",
+        "op",
+        "kind",
+        "app_name",
+        "entry",
+        "page",
+        "size_bytes",
+        "enqueued_at_us",
+        "issued_at_us",
+        "completed_at_us",
+        "completion",
+        "dropped",
+    )
+
+    def __init__(
+        self,
+        op: RdmaOp,
+        kind: RequestKind,
+        app_name: str,
+        entry: "SwapEntry",
+        page: Optional["Page"] = None,
+        size_bytes: int = PAGE_SIZE,
+        completion: Optional["Event"] = None,
+    ):
+        self.request_id: int = next(_request_ids)
+        self.op = op
+        self.kind = kind
+        self.app_name = app_name
+        self.entry = entry
+        self.page = page
+        self.size_bytes = size_bytes
+        self.enqueued_at_us: Optional[float] = None
+        self.issued_at_us: Optional[float] = None
+        self.completed_at_us: Optional[float] = None
+        #: Fired when the transfer completes (never fired if dropped).
+        self.completion: Optional["Event"] = completion
+        #: Canvas §5.3: stale prefetches are dropped instead of served.
+        self.dropped = False
+
+    @property
+    def latency_us(self) -> Optional[float]:
+        """Queueing + service latency, None while incomplete."""
+        if self.completed_at_us is None or self.enqueued_at_us is None:
+            return None
+        return self.completed_at_us - self.enqueued_at_us
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"RdmaRequest(#{self.request_id}, {self.op.value}/{self.kind.value}, "
+            f"app={self.app_name!r}, entry={self.entry.entry_id})"
+        )

@@ -1,0 +1,212 @@
+"""The RNIC and fabric model.
+
+Geometry matches the paper's testbed: one 40 Gbps InfiniBand adapter per
+host, so all co-running applications share a single NIC.  The model has
+three pieces:
+
+* :class:`DirectionalChannel` — the wire in one direction.  Transfers
+  serialize on the wire for ``size / bandwidth``; propagation latency is
+  pipelined (it delays completion but does not occupy the wire).
+* :class:`PhysicalQP` — a FIFO of requests with a static priority, the
+  unit the kernel posts verbs to.  Fastswap's sync/async split and
+  Canvas's 3-PQPs-per-core layout are both configurations of these.
+* :class:`RNIC` — one dispatch loop per direction that repeatedly picks
+  the next request from the ready QPs (strict priority, round-robin
+  within a priority level) and serves it.
+
+Calibration: 40 Gbps ≈ 4800 payload bytes/µs after protocol overhead, so
+a 4 KB page occupies the wire ~0.85 µs; with ~3 µs base latency and ~1 µs
+verb overhead an unloaded demand read lands in ~5 µs and a loaded one in
+tens of µs, matching Fig. 6's "99% of demand requests within 40 µs".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.rdma.message import RdmaOp, RdmaRequest
+from repro.sim.engine import Engine, Event
+
+__all__ = ["DirectionalChannel", "PhysicalQP", "RNIC", "NicStats"]
+
+#: 40 Gbps = 5000 bytes/µs raw; ~4% header/protocol overhead.
+DEFAULT_BANDWIDTH_BYTES_PER_US = 4800.0
+DEFAULT_BASE_LATENCY_US = 3.0
+DEFAULT_VERB_OVERHEAD_US = 1.0
+
+
+class DirectionalChannel:
+    """One direction of the wire: a serializing bandwidth server."""
+
+    def __init__(self, name: str, bandwidth_bytes_per_us: float):
+        if bandwidth_bytes_per_us <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.name = name
+        self.bandwidth_bytes_per_us = bandwidth_bytes_per_us
+        self.busy_until_us = 0.0
+        self.bytes_transferred = 0
+
+    def transfer_time_us(self, size_bytes: int) -> float:
+        return size_bytes / self.bandwidth_bytes_per_us
+
+    def reserve(self, now_us: float, size_bytes: int) -> float:
+        """Occupy the wire for one transfer; returns wire-release time."""
+        start = max(now_us, self.busy_until_us)
+        self.busy_until_us = start + self.transfer_time_us(size_bytes)
+        self.bytes_transferred += size_bytes
+        return self.busy_until_us
+
+
+class PhysicalQP:
+    """A NIC queue pair: FIFO of requests with a dispatch priority.
+
+    Lower ``priority`` values are served first (0 = most urgent).
+    """
+
+    def __init__(self, name: str, priority: int = 0):
+        self.name = name
+        self.priority = priority
+        self._queue: Deque[RdmaRequest] = deque()
+        self.enqueued_total = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def push(self, request: RdmaRequest) -> None:
+        self._queue.append(request)
+        self.enqueued_total += 1
+
+    def pop(self) -> Optional[RdmaRequest]:
+        if self._queue:
+            return self._queue.popleft()
+        return None
+
+    def peek(self) -> Optional[RdmaRequest]:
+        if self._queue:
+            return self._queue[0]
+        return None
+
+
+@dataclass
+class NicStats:
+    reads_completed: int = 0
+    writes_completed: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    dropped_skipped: int = 0
+
+
+class RNIC:
+    """One host NIC shared by every application on the machine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        read_bandwidth_bytes_per_us: float = DEFAULT_BANDWIDTH_BYTES_PER_US,
+        write_bandwidth_bytes_per_us: float = DEFAULT_BANDWIDTH_BYTES_PER_US,
+        base_latency_us: float = DEFAULT_BASE_LATENCY_US,
+        verb_overhead_us: float = DEFAULT_VERB_OVERHEAD_US,
+        name: str = "rnic",
+    ):
+        self.engine = engine
+        self.name = name
+        self.read_channel = DirectionalChannel(f"{name}.read", read_bandwidth_bytes_per_us)
+        self.write_channel = DirectionalChannel(f"{name}.write", write_bandwidth_bytes_per_us)
+        self.base_latency_us = base_latency_us
+        self.verb_overhead_us = verb_overhead_us
+        self.stats = NicStats()
+        self._qps: Dict[RdmaOp, List[PhysicalQP]] = {RdmaOp.READ: [], RdmaOp.WRITE: []}
+        self._rr_cursor: Dict[RdmaOp, int] = {RdmaOp.READ: 0, RdmaOp.WRITE: 0}
+        self._dispatch_idle: Dict[RdmaOp, bool] = {RdmaOp.READ: True, RdmaOp.WRITE: True}
+        self._wakeups: Dict[RdmaOp, Optional[Event]] = {RdmaOp.READ: None, RdmaOp.WRITE: None}
+        #: Observers called as fn(request) on every completion.
+        self.completion_hooks: List[Callable[[RdmaRequest], None]] = []
+        #: Observers called when a dropped request is skipped at dispatch
+        #: (it will never complete; schedulers must release its slot).
+        self.dropped_hooks: List[Callable[[RdmaRequest], None]] = []
+        for op in (RdmaOp.READ, RdmaOp.WRITE):
+            engine.spawn(self._dispatch_loop(op), name=f"{name}.{op.value}.dispatch")
+
+    # -- QP management -----------------------------------------------------
+
+    def create_qp(self, name: str, op: RdmaOp, priority: int = 0) -> PhysicalQP:
+        qp = PhysicalQP(name, priority)
+        self._qps[op].append(qp)
+        self._qps[op].sort(key=lambda q: q.priority)
+        return qp
+
+    def submit(self, qp: PhysicalQP, request: RdmaRequest) -> None:
+        """Post a request to a QP and kick the dispatcher."""
+        if request.enqueued_at_us is None:
+            request.enqueued_at_us = self.engine.now
+        qp.push(request)
+        self._kick(request.op)
+
+    def _kick(self, op: RdmaOp) -> None:
+        wakeup = self._wakeups[op]
+        if wakeup is not None and not wakeup.fired:
+            wakeup.succeed()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _select(self, op: RdmaOp) -> Optional[RdmaRequest]:
+        """Strict priority across QPs, round-robin within a priority level."""
+        qps = self._qps[op]
+        if not qps:
+            return None
+        # Group by priority (list is sorted).
+        index = 0
+        while index < len(qps):
+            level = qps[index].priority
+            group = []
+            while index < len(qps) and qps[index].priority == level:
+                group.append(qps[index])
+                index += 1
+            nonempty = [qp for qp in group if len(qp)]
+            if not nonempty:
+                continue
+            cursor = self._rr_cursor[op] % len(nonempty)
+            self._rr_cursor[op] = cursor + 1
+            return nonempty[cursor].pop()
+        return None
+
+    def _dispatch_loop(self, op: RdmaOp):
+        channel = self.read_channel if op is RdmaOp.READ else self.write_channel
+        while True:
+            request = self._select(op)
+            if request is None:
+                wakeup = self.engine.event(f"{self.name}.{op.value}.wakeup")
+                self._wakeups[op] = wakeup
+                yield wakeup
+                self._wakeups[op] = None
+                continue
+            if request.dropped:
+                self.stats.dropped_skipped += 1
+                for hook in self.dropped_hooks:
+                    hook(request)
+                continue
+            request.issued_at_us = self.engine.now
+            # Verb processing on the NIC, then the wire, then propagation.
+            yield self.engine.timeout(self.verb_overhead_us)
+            release = channel.reserve(self.engine.now, request.size_bytes)
+            wire_wait = release - self.engine.now
+            yield self.engine.timeout(wire_wait)
+            # Propagation is pipelined: schedule completion off-loop.
+            self.engine.call_after(
+                self.base_latency_us, lambda req=request: self._complete(req)
+            )
+
+    def _complete(self, request: RdmaRequest) -> None:
+        request.completed_at_us = self.engine.now
+        if request.op is RdmaOp.READ:
+            self.stats.reads_completed += 1
+            self.stats.read_bytes += request.size_bytes
+        else:
+            self.stats.writes_completed += 1
+            self.stats.write_bytes += request.size_bytes
+        for hook in self.completion_hooks:
+            hook(request)
+        if request.completion is not None:
+            request.completion.succeed(request)

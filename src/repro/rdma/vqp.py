@@ -1,0 +1,78 @@
+"""Virtual queue pairs (VQPs).
+
+Canvas gives each cgroup a set of VQPs — high-level, lock-free request
+queues the application side pushes into, while the centralized scheduler
+pops from the other end and forwards onto physical QPs (§4).  We keep one
+FIFO per request kind (demand / prefetch / swap-out) per cgroup so the
+per-application sub-scheduler can prioritize between them.
+
+A timestamp is attached to each request on push; the §5.3 timeliness
+logic uses it to estimate whether a prefetch can still arrive in time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional
+
+from repro.rdma.message import RdmaRequest, RequestKind
+from repro.sim.engine import Engine
+
+__all__ = ["VirtualQP"]
+
+
+class VirtualQP:
+    """Per-cgroup request queues awaiting central scheduling."""
+
+    def __init__(self, engine: Engine, app_name: str):
+        self.engine = engine
+        self.app_name = app_name
+        self._queues: Dict[RequestKind, Deque[RdmaRequest]] = {
+            kind: deque() for kind in RequestKind
+        }
+        self.pushed_total = 0
+        self.popped_total = 0
+        self.dropped_total = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def depth(self, kind: RequestKind) -> int:
+        return len(self._queues[kind])
+
+    def push(self, request: RdmaRequest) -> None:
+        """Application side: enqueue and stamp the request."""
+        request.enqueued_at_us = self.engine.now
+        if request.kind is RequestKind.PREFETCH:
+            # §5.3: remember on the swap entry that a prefetch is in flight
+            # so a later faulting thread can detect and drop it if stale.
+            request.entry.timestamp_us = self.engine.now
+        self._queues[request.kind].append(request)
+        self.pushed_total += 1
+
+    def pop(self, kind: RequestKind) -> Optional[RdmaRequest]:
+        """Scheduler side: dequeue the oldest request of ``kind``.
+
+        Requests marked dropped while queued are discarded here.
+        """
+        queue = self._queues[kind]
+        while queue:
+            request = queue.popleft()
+            if request.dropped:
+                self.dropped_total += 1
+                continue
+            self.popped_total += 1
+            return request
+        return None
+
+    def peek(self, kind: RequestKind) -> Optional[RdmaRequest]:
+        queue = self._queues[kind]
+        for request in queue:
+            if not request.dropped:
+                return request
+        return None
+
+    def has_pending(self) -> bool:
+        return any(
+            any(not r.dropped for r in queue) for queue in self._queues.values()
+        )

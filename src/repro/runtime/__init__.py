@@ -1,0 +1,17 @@
+"""Runtime models: the JVM (write barrier, thread map) and native programs."""
+
+from repro.runtime.jvm import (
+    LARGE_ARRAY_PAGES,
+    MANY_THREADS,
+    JvmRuntime,
+    NativeRuntime,
+    RuntimeStats,
+)
+
+__all__ = [
+    "JvmRuntime",
+    "NativeRuntime",
+    "RuntimeStats",
+    "LARGE_ARRAY_PAGES",
+    "MANY_THREADS",
+]

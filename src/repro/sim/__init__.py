@@ -1,0 +1,32 @@
+"""Discrete-event simulation substrate: engine, resources, RNG streams."""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from repro.sim.resources import CoreSet, FIFOStore, LockStats, Semaphore, SimLock
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Engine",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "CoreSet",
+    "FIFOStore",
+    "LockStats",
+    "Semaphore",
+    "SimLock",
+    "RngRegistry",
+    "derive_seed",
+]

@@ -1,0 +1,359 @@
+"""Discrete-event simulation engine.
+
+The engine keeps a heap of timestamped events and advances a simulated
+clock measured in **microseconds** (float).  Concurrency is expressed with
+*processes*: plain Python generators that ``yield`` waitables (timeouts,
+events, other processes, resource acquisitions).  The style is deliberately
+close to SimPy's, but the implementation is lean and self-contained so that
+the hot paths of the swap simulation stay cheap.
+
+Example
+-------
+>>> from repro.sim.engine import Engine
+>>> eng = Engine()
+>>> log = []
+>>> def worker(eng, name, delay):
+...     yield eng.timeout(delay)
+...     log.append((eng.now, name))
+>>> _ = eng.spawn(worker(eng, "a", 5.0))
+>>> _ = eng.spawn(worker(eng, "b", 2.0))
+>>> eng.run()
+>>> log
+[(2.0, 'b'), (5.0, 'a')]
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation engine."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; it is fired exactly once with
+    :meth:`succeed` (or :meth:`fail`), after which every waiting process
+    is resumed with the event's value (or the failure exception raised
+    inside it).
+    """
+
+    __slots__ = ("engine", "_value", "_exc", "_fired", "_callbacks", "name")
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._fired = False
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        if not self._fired:
+            raise SimulationError("event value read before it fired")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, resuming all waiters at the current sim time."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._value = value
+        self.engine._schedule_call(0.0, self._dispatch)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Fire the event with an exception; waiters see it raised."""
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self._fired = True
+        self._exc = exc
+        self.engine._schedule_call(0.0, self._dispatch)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self._fired:
+            # Late subscription: deliver on the next engine step.
+            self.engine._schedule_call(0.0, lambda: callback(self))
+        else:
+            self._callbacks.append(callback)
+
+    def _dispatch(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, engine: "Engine", delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        super().__init__(engine, name=f"timeout({delay})")
+        self.delay = delay
+        engine._schedule_call(delay, self._fire)
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._value = None
+        self._dispatch()
+
+
+class Process(Event):
+    """A running coroutine; also an event that fires when it returns.
+
+    The wrapped generator yields waitables.  When a yielded event fires,
+    the process resumes with the event's value; if the event failed, the
+    exception is thrown into the generator.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "_interrupt_pending")
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._interrupt_pending: Optional[Interrupt] = None
+        engine._schedule_call(0.0, lambda: self._resume(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return not self._fired
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._fired:
+            return
+        interrupt = Interrupt(cause)
+        self._interrupt_pending = interrupt
+        waiting = self._waiting_on
+        self._waiting_on = None
+        # The stale wakeup from `waiting` is ignored via the _waiting_on check.
+        del waiting
+        self.engine._schedule_call(0.0, self._deliver_interrupt)
+
+    def _deliver_interrupt(self) -> None:
+        interrupt, self._interrupt_pending = self._interrupt_pending, None
+        if interrupt is None or self._fired:
+            return
+        self._step(lambda: self.generator.throw(interrupt))
+
+    def _on_event(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wakeup (e.g. interrupted while waiting)
+        self._waiting_on = None
+        if event._exc is not None:
+            exc = event._exc
+            self._step(lambda: self.generator.throw(exc))
+        else:
+            self._resume(event._value, None)
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if exc is not None:
+            self._step(lambda: self.generator.throw(exc))
+        else:
+            self._step(lambda: self.generator.send(value))
+
+    def _step(self, advance: Callable[[], Any]) -> None:
+        try:
+            target = advance()
+        except StopIteration as stop:
+            self._fired = True
+            self._value = stop.value
+            self._dispatch()
+            return
+        except Interrupt:
+            # Process chose not to handle its interrupt: treat as a clean exit.
+            self._fired = True
+            self._value = None
+            self._dispatch()
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {target!r}"
+            )
+        self._waiting_on = target
+        target.add_callback(self._on_event)
+
+
+class AllOf(Event):
+    """Fires once every child event has fired; value is the list of values."""
+
+    __slots__ = ("_children", "_remaining")
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, name="all_of")
+        self._children = list(events)
+        self._remaining = len(self._children)
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for event in self._children:
+            event.add_callback(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        if self._fired:
+            return
+        if event._exc is not None:
+            self.fail(event._exc)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([child._value for child in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires; value is (index, value)."""
+
+    __slots__ = ("_children",)
+
+    def __init__(self, engine: "Engine", events: Iterable[Event]):
+        super().__init__(engine, name="any_of")
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf needs at least one event")
+        for index, event in enumerate(self._children):
+            event.add_callback(self._make_child_callback(index))
+
+    def _make_child_callback(self, index: int) -> Callable[[Event], None]:
+        def on_child(event: Event) -> None:
+            if self._fired:
+                return
+            if event._exc is not None:
+                self.fail(event._exc)
+            else:
+                self.succeed((index, event._value))
+
+        return on_child
+
+
+class Engine:
+    """The event loop: a clock plus a heap of scheduled callbacks."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self._running = False
+        self._step_count = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_call(self, delay: float, callback: Callable[[], None]) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
+
+    def call_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` at absolute simulated time ``when``."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        self._schedule_call(when - self.now, callback)
+
+    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` simulated microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        self._schedule_call(delay, callback)
+
+    # -- waitable factories ----------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        return Event(self, name)
+
+    def timeout(self, delay: float) -> Timeout:
+        return Timeout(self, delay)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def spawn(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator and return its handle."""
+        return Process(self, generator, name=name)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> float:
+        """Drain the event heap.
+
+        Stops when the heap is empty, when the next event lies beyond
+        ``until`` (the clock is then advanced exactly to ``until``), or
+        after ``max_steps`` dispatched callbacks.  Returns the final clock.
+        """
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            steps = 0
+            heap = self._heap
+            while heap:
+                when, _seq, callback = heap[0]
+                if until is not None and when > until:
+                    self.now = until
+                    return self.now
+                heapq.heappop(heap)
+                self.now = when
+                callback()
+                steps += 1
+                if max_steps is not None and steps >= max_steps:
+                    break
+            self._step_count += steps
+            if until is not None and self.now < until:
+                self.now = until
+            return self.now
+        finally:
+            self._running = False
+
+    def run_until_fired(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until ``event`` fires; returns its value.
+
+        ``limit`` bounds the simulated time as a safety net; exceeding it
+        raises :class:`SimulationError`.
+        """
+        while not event.fired:
+            if not self._heap:
+                raise SimulationError("event can never fire: heap is empty")
+            if limit is not None and self._heap[0][0] > limit:
+                raise SimulationError(f"event did not fire before t={limit}")
+            when, _seq, callback = heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        if event._exc is not None:
+            raise event._exc
+        return event._value
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,26 @@
+"""Swap substrate: entries, partitions, allocators, and the swap cache."""
+
+from repro.swap.allocator import (
+    AllocatorStats,
+    BatchAllocator,
+    EntryAllocator,
+    FreeListAllocator,
+    Linux514Allocator,
+    PerCoreClusterAllocator,
+)
+from repro.swap.entry import SwapEntry
+from repro.swap.partition import SwapPartition
+from repro.swap.swap_cache import SwapCache, SwapCacheStats
+
+__all__ = [
+    "AllocatorStats",
+    "BatchAllocator",
+    "EntryAllocator",
+    "FreeListAllocator",
+    "Linux514Allocator",
+    "PerCoreClusterAllocator",
+    "SwapEntry",
+    "SwapPartition",
+    "SwapCache",
+    "SwapCacheStats",
+]

@@ -1,0 +1,46 @@
+"""Swap entries: 4 KB remote-memory cells addressed by entry ID.
+
+Each entry belongs to one partition and carries the two metadata fields
+Canvas adds in §5.3 for stale-prefetch handling: a ``timestamp_us`` written
+when a prefetch request for the entry enters a VQP, and a ``valid`` flag a
+faulting thread clears to cancel an in-flight prefetch it has given up on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SwapEntry"]
+
+
+class SwapEntry:
+    """One swap slot in a (remote-memory-backed) swap partition."""
+
+    __slots__ = (
+        "entry_id",
+        "partition_name",
+        "allocated",
+        "reserved",
+        "stored_vpn",
+        "timestamp_us",
+        "valid",
+    )
+
+    def __init__(self, entry_id: int, partition_name: str):
+        self.entry_id = entry_id
+        self.partition_name = partition_name
+        self.allocated = False
+        #: Canvas §5.1: held by a page's struct-page reservation.
+        self.reserved = False
+        #: VPN whose data the entry currently stores (None when free).
+        self.stored_vpn: Optional[int] = None
+        #: Canvas §5.3: set when a prefetch for this entry is enqueued.
+        self.timestamp_us: Optional[float] = None
+        #: Canvas §5.3: cleared to drop the in-flight prefetch.
+        self.valid = True
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SwapEntry(id={self.entry_id}, part={self.partition_name!r}, "
+            f"allocated={self.allocated}, reserved={self.reserved})"
+        )

@@ -1,0 +1,94 @@
+"""Swap partitions: fixed-size arrays of swap entries over remote memory.
+
+In stock Linux a single partition (or a priority-ordered chain) is shared
+by every application; Canvas gives each cgroup its own partition plus one
+global partition for shared pages (§4).  The partition itself is just the
+entry array and the free set — allocation *policy* lives in
+:mod:`repro.swap.allocator`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+from repro.swap.entry import SwapEntry
+
+__all__ = ["SwapPartition"]
+
+
+class SwapPartition:
+    """A swap partition of ``n_entries`` 4 KB slots."""
+
+    def __init__(self, name: str, n_entries: int):
+        if n_entries <= 0:
+            raise ValueError(f"partition needs entries > 0, got {n_entries}")
+        self.name = name
+        self.n_entries = n_entries
+        self.entries: List[SwapEntry] = [SwapEntry(i, name) for i in range(n_entries)]
+        self._free: Deque[SwapEntry] = deque(self.entries)
+
+    def grow(self, n_entries: int) -> List[SwapEntry]:
+        """Append freshly registered remote memory (demand-driven, §4).
+
+        Returns the new entries (already on the free list).  Timing —
+        the RDMA buffer registration cost — is the caller's business.
+        """
+        if n_entries <= 0:
+            raise ValueError(f"grow needs entries > 0, got {n_entries}")
+        new_entries = [
+            SwapEntry(self.n_entries + i, self.name) for i in range(n_entries)
+        ]
+        self.entries.extend(new_entries)
+        self.n_entries += n_entries
+        self._free.extend(new_entries)
+        return new_entries
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def used_count(self) -> int:
+        return self.n_entries - len(self._free)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of entries allocated or reserved."""
+        return self.used_count / self.n_entries
+
+    def pop_free(self) -> SwapEntry:
+        """Take one entry off the free list (no timing — caller models it)."""
+        if not self._free:
+            raise RuntimeError(f"swap partition {self.name!r} is full")
+        entry = self._free.popleft()
+        entry.allocated = True
+        return entry
+
+    def pop_free_batch(self, n: int) -> List[SwapEntry]:
+        """Take up to ``n`` entries; used by the batch allocator."""
+        batch: List[SwapEntry] = []
+        while self._free and len(batch) < n:
+            entry = self._free.popleft()
+            entry.allocated = True
+            batch.append(entry)
+        return batch
+
+    def push_free(self, entry: SwapEntry) -> None:
+        """Return an entry to the free list."""
+        if entry.partition_name != self.name:
+            raise ValueError(
+                f"entry {entry.entry_id} belongs to {entry.partition_name!r}, "
+                f"not {self.name!r}"
+            )
+        if not entry.allocated:
+            raise ValueError(f"double free of entry {entry.entry_id}")
+        entry.allocated = False
+        entry.reserved = False
+        entry.stored_vpn = None
+        entry.timestamp_us = None
+        entry.valid = True
+        self._free.append(entry)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SwapPartition({self.name!r}, {self.used_count}/{self.n_entries} used)"

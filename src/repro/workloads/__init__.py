@@ -1,0 +1,19 @@
+"""Workloads: Table 2 applications, access-pattern combinators, samplers."""
+
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    MANAGED_WORKLOADS,
+    NATIVE_WORKLOADS,
+    WORKLOADS,
+    make_workload,
+)
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "MANAGED_WORKLOADS",
+    "NATIVE_WORKLOADS",
+    "make_workload",
+    "ZipfSampler",
+]

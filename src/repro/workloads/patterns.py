@@ -1,0 +1,200 @@
+"""Access-stream combinators.
+
+Each generator yields ``(vpn, is_write, cpu_us)`` tuples — the protocol
+consumed by :func:`repro.harness.driver.app_thread`.  Workloads are built
+by composing these primitives: Snappy is one sequential stream, Memcached
+is a Zipf stream, Spark is epochal scans plus pointer chasing plus GC
+bursts, and so on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mem.address_space import VMA
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "sequential",
+    "strided",
+    "zipfian",
+    "uniform_random",
+    "pointer_chase",
+    "gc_bursts",
+    "interleave",
+    "shuffled_chain",
+]
+
+Access = Tuple[int, bool, float]
+
+
+def sequential(
+    vma: VMA,
+    n: int,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.05,
+    start: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Access]:
+    """Wrap-around sequential scan from ``start`` (page offset)."""
+    writes = _write_flags(n, write_ratio, rng)
+    base, span = vma.start_vpn, vma.n_pages
+    for i in range(n):
+        yield (base + (start + i) % span, writes[i], cpu_us)
+
+
+def strided(
+    vma: VMA,
+    n: int,
+    stride: int,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.05,
+    start: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Access]:
+    """Wrap-around strided scan (e.g. column access of a row-major matrix)."""
+    writes = _write_flags(n, write_ratio, rng)
+    base, span = vma.start_vpn, vma.n_pages
+    for i in range(n):
+        yield (base + (start + i * stride) % span, writes[i], cpu_us)
+
+
+def zipfian(
+    vma: VMA,
+    n: int,
+    rng: np.random.Generator,
+    theta: float = 0.99,
+    write_ratio: float = 0.1,
+    cpu_us: float = 0.1,
+) -> Iterator[Access]:
+    """Zipf-popular page accesses (YCSB-style key lookups)."""
+    sampler = ZipfSampler(vma.n_pages, theta, rng)
+    ranks = sampler.sample_many(n)
+    # Scatter ranks over the region so popular pages are not contiguous.
+    permutation = rng.permutation(vma.n_pages)
+    writes = _write_flags(n, write_ratio, rng)
+    base = vma.start_vpn
+    for i in range(n):
+        yield (base + int(permutation[ranks[i]]), writes[i], cpu_us)
+
+
+def uniform_random(
+    vma: VMA,
+    n: int,
+    rng: np.random.Generator,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.05,
+) -> Iterator[Access]:
+    offsets = rng.integers(0, vma.n_pages, size=n)
+    writes = _write_flags(n, write_ratio, rng)
+    base = vma.start_vpn
+    for i in range(n):
+        yield (base + int(offsets[i]), writes[i], cpu_us)
+
+
+def shuffled_chain(vma: VMA, rng: np.random.Generator) -> List[int]:
+    """A fixed random permutation of the region's VPNs: the 'object graph'
+    traversal order used by :func:`pointer_chase` and recorded as
+    reference edges by managed workloads."""
+    order = np.array(range(vma.start_vpn, vma.end_vpn))
+    rng.shuffle(order)
+    return [int(v) for v in order]
+
+
+def grouped_chain(
+    vma: VMA, rng: np.random.Generator, group_pages: int = 16
+) -> List[int]:
+    """An object-graph traversal order with allocation-site locality.
+
+    Real managed heaps allocate related objects together: a traversal
+    bounces *randomly within* a page group (defeating stride detectors)
+    but moves *between* few groups (so the write-barrier summary graph is
+    sparse and reference-based prefetching sees exactly the future).  The
+    chain visits page groups in one fixed random order, shuffling pages
+    inside each group.
+    """
+    vpns = np.array(range(vma.start_vpn, vma.end_vpn))
+    groups = [
+        vpns[start : start + group_pages]
+        for start in range(0, len(vpns), group_pages)
+    ]
+    group_order = rng.permutation(len(groups))
+    chain: List[int] = []
+    for index in group_order:
+        members = groups[index].copy()
+        rng.shuffle(members)
+        chain.extend(int(v) for v in members)
+    return chain
+
+
+def pointer_chase(
+    chain: Sequence[int],
+    n: int,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.15,
+    start_index: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Access]:
+    """Follow a fixed pointer chain repeatedly.
+
+    The chain is deterministic (the heap's object graph does not change
+    between traversals), which is exactly why reference-graph prefetching
+    works on it while stride detectors see noise.
+    """
+    writes = _write_flags(n, write_ratio, rng)
+    span = len(chain)
+    for i in range(n):
+        yield (chain[(start_index + i) % span], writes[i], cpu_us)
+
+
+def gc_bursts(
+    chain: Sequence[int],
+    n_bursts: int,
+    burst_len: int,
+    idle_cpu_us: float = 400.0,
+    cpu_us: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Access]:
+    """A GC thread: long compute pauses, then a burst of graph traversal.
+
+    The first access of each burst carries the accumulated idle CPU so the
+    thread occupies a core between collections without generating events.
+    """
+    span = len(chain)
+    position = 0
+    for burst in range(n_bursts):
+        if rng is not None:
+            position = int(rng.integers(0, span))
+        for i in range(burst_len):
+            cost = idle_cpu_us if i == 0 else cpu_us
+            yield (chain[(position + i) % span], False, cost)
+        position += burst_len
+
+
+def interleave(
+    streams: List[Iterator[Access]], rng: np.random.Generator
+) -> Iterator[Access]:
+    """Randomly interleave several streams until all are exhausted."""
+    live = list(streams)
+    while live:
+        index = int(rng.integers(0, len(live)))
+        try:
+            yield next(live[index])
+        except StopIteration:
+            live.pop(index)
+
+
+def _write_flags(
+    n: int, write_ratio: float, rng: Optional[np.random.Generator]
+) -> np.ndarray:
+    if write_ratio <= 0.0 or rng is None:
+        if write_ratio >= 1.0:
+            return np.ones(n, dtype=bool)
+        if write_ratio > 0.0:
+            # Deterministic thinning when no RNG is supplied.
+            period = max(1, round(1.0 / write_ratio))
+            return np.arange(n) % period == 0
+        return np.zeros(n, dtype=bool)
+    return rng.random(n) < write_ratio

@@ -1,0 +1,63 @@
+"""Workload registry: look up Table 2 applications by name."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.workloads.apps import (
+    CassandraWorkload,
+    GraphXCC,
+    GraphXPR,
+    GraphXSP,
+    MemcachedWorkload,
+    MLlibBayes,
+    Neo4jWorkload,
+    SnappyWorkload,
+    SparkKM,
+    SparkLR,
+    SparkPR,
+    SparkSSG,
+    SparkTC,
+    XGBoostWorkload,
+)
+from repro.workloads.base import Workload
+
+__all__ = [
+    "WORKLOADS",
+    "MANAGED_WORKLOADS",
+    "NATIVE_WORKLOADS",
+    "make_workload",
+]
+
+_CLASSES: List[Type[Workload]] = [
+    CassandraWorkload,
+    Neo4jWorkload,
+    SparkPR,
+    SparkKM,
+    SparkLR,
+    SparkSSG,
+    SparkTC,
+    MLlibBayes,
+    GraphXCC,
+    GraphXPR,
+    GraphXSP,
+    XGBoostWorkload,
+    SnappyWorkload,
+    MemcachedWorkload,
+]
+
+#: name -> class, in Table 2 order.
+WORKLOADS: Dict[str, Type[Workload]] = {cls.name: cls for cls in _CLASSES}
+
+MANAGED_WORKLOADS: List[str] = [cls.name for cls in _CLASSES if cls.managed]
+NATIVE_WORKLOADS: List[str] = [cls.name for cls in _CLASSES if not cls.managed]
+
+
+def make_workload(name: str, scale: float = 1.0) -> Workload:
+    """Instantiate a registered workload by its Table 2 name."""
+    try:
+        cls = WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+    return cls(scale=scale)

@@ -1,0 +1,37 @@
+"""Bounded Zipf sampling for YCSB-style key popularity.
+
+YCSB's default request distribution is Zipfian with exponent ~0.99; the
+Memcached and Cassandra workloads in Table 2 are YCSB-driven.  NumPy's
+``zipf`` is unbounded, so we precompute the normalized CDF over ``n``
+ranks and invert it with a binary search — exact, vectorized, and
+deterministic under a seeded generator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Draw ranks in ``[0, n)`` with probability ∝ 1 / (rank+1)^theta."""
+
+    def __init__(self, n: int, theta: float, rng: np.random.Generator):
+        if n <= 0:
+            raise ValueError(f"need n > 0, got {n}")
+        if theta < 0:
+            raise ValueError(f"need theta >= 0, got {theta}")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        weights = 1.0 / np.power(np.arange(1, n + 1, dtype=float), theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+
+    def sample(self) -> int:
+        return int(np.searchsorted(self._cdf, self._rng.random(), side="left"))
+
+    def sample_many(self, size: int) -> np.ndarray:
+        draws = self._rng.random(size)
+        return np.searchsorted(self._cdf, draws, side="left")

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "memcached" in out
+    assert "spark_lr" in out
+    assert "canvas" in out
+
+
+def test_run_command(capsys):
+    assert main(["run", "--apps", "snappy", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "snappy" in out
+    assert "faults" in out
+
+
+def test_run_multiple_apps(capsys):
+    assert main(["run", "--apps", "snappy", "memcached", "--scale", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "snappy" in out and "memcached" in out
+
+
+def test_compare_command(capsys):
+    code = main(
+        [
+            "compare",
+            "--apps",
+            "snappy",
+            "--scale",
+            "0.1",
+            "--systems",
+            "linux",
+            "canvas",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "linux" in out and "canvas" in out
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--apps", "doom"])
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--apps", "snappy", "--system", "bsd"])
+
+
+def test_missing_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_run_with_csv(tmp_path, capsys):
+    csv_path = tmp_path / "out.csv"
+    assert main(["run", "--apps", "snappy", "--scale", "0.1", "--csv", str(csv_path)]) == 0
+    assert csv_path.exists()
+    header = csv_path.read_text().splitlines()[0]
+    assert "completion_time_ms" in header
+
+
+def test_compare_with_csv(tmp_path, capsys):
+    csv_path = tmp_path / "cmp.csv"
+    code = main(
+        ["compare", "--apps", "snappy", "--scale", "0.1",
+         "--systems", "linux", "canvas", "--csv", str(csv_path)]
+    )
+    assert code == 0
+    lines = csv_path.read_text().splitlines()
+    assert lines[0].startswith("system,")
+    assert len(lines) == 3  # header + one row per system

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness."""
+
+import math
+
+import pytest
+
+from repro.harness import ExperimentConfig, run_experiment, run_individual
+
+
+def small(system="linux", **kwargs):
+    return ExperimentConfig(system=system, scale=0.1, **kwargs)
+
+
+def test_individual_run_produces_result():
+    res = run_individual("memcached", small())
+    assert "memcached" in res.results
+    assert res.completion_time("memcached") > 0
+    assert res.apps["memcached"].stats.faults > 0
+
+
+def test_corun_all_apps_finish():
+    res = run_experiment(["memcached", "snappy"], small())
+    for name in ("memcached", "snappy"):
+        assert not math.isnan(res.completion_time(name))
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        run_individual("snappy", small(system="windows"))
+
+
+def test_unknown_prefetcher_rejected():
+    with pytest.raises(ValueError):
+        run_individual("snappy", small(prefetcher="psychic"))
+
+
+def test_cores_follow_paper_defaults():
+    res = run_experiment(["spark_lr", "memcached", "snappy", "xgboost"], small())
+    assert res.apps["spark_lr"].config.n_cores == 24
+    assert res.apps["xgboost"].config.n_cores == 16
+    assert res.apps["memcached"].config.n_cores == 4
+    assert res.apps["snappy"].config.n_cores == 1
+
+
+def test_cores_override():
+    cfg = small(cores_override={"snappy": 8})
+    res = run_individual("snappy", cfg)
+    assert res.apps["snappy"].config.n_cores == 8
+
+
+def test_local_memory_fraction_respected():
+    cfg = small(local_memory_fraction=0.5)
+    res = run_individual("memcached", cfg)
+    app = res.apps["memcached"]
+    ws = app.space.total_pages
+    assert app.pool.capacity_pages == pytest.approx(ws * 0.5, rel=0.1)
+
+
+def test_canvas_gets_private_partitions():
+    res = run_experiment(["memcached", "snappy"], small(system="canvas"))
+    from repro.core import CanvasSwapSystem
+
+    assert isinstance(res.system, CanvasSwapSystem)
+    assert res.system.partition_of("memcached").name == "memcached.swap"
+
+
+def test_canvas_iso_disables_optimizations():
+    res = run_individual("memcached", small(system="canvas-iso"))
+    assert res.system.adaptive_stats("memcached") is None
+
+
+def test_system_config_overrides_applied():
+    cfg = small(system_config_overrides={"kswapd_batch": 2})
+    res = run_individual("snappy", cfg)
+    assert res.system.config.kswapd_batch == 2
+
+
+def test_system_config_overrides_unknown_key():
+    with pytest.raises(AttributeError):
+        run_individual("snappy", small(system_config_overrides={"bogus": 1}))
+
+
+def test_determinism_same_seed_same_result():
+    a = run_individual("memcached", small(seed=7))
+    b = run_individual("memcached", small(seed=7))
+    assert a.completion_time("memcached") == b.completion_time("memcached")
+    assert a.apps["memcached"].stats.faults == b.apps["memcached"].stats.faults
+
+
+def test_different_seeds_differ():
+    a = run_individual("memcached", small(seed=1))
+    b = run_individual("memcached", small(seed=2))
+    assert a.completion_time("memcached") != b.completion_time("memcached")
+
+
+def test_prefetch_metrics_populated():
+    res = run_individual("snappy", small())
+    result = res.results["snappy"]
+    assert 0.0 <= result.prefetch_contribution <= 1.0
+    assert result.prefetch_accuracy >= 0.0
+
+
+def test_infiniswap_system_runs():
+    res = run_individual("memcached", small(system="infiniswap"))
+    assert res.completion_time("memcached") > 0
+
+
+def test_linux514_system_runs():
+    res = run_individual("memcached", small(system="linux514"))
+    assert res.completion_time("memcached") > 0

@@ -1,0 +1,70 @@
+"""Unit tests for frame-pool accounting and watermarks."""
+
+import pytest
+
+from repro.mem import FramePool
+
+
+def test_charge_and_uncharge():
+    pool = FramePool(10)
+    assert pool.try_charge(3)
+    assert pool.used == 3
+    assert pool.free == 7
+    pool.uncharge(2)
+    assert pool.used == 1
+
+
+def test_overcommit_rejected():
+    pool = FramePool(4)
+    assert pool.try_charge(4)
+    assert not pool.try_charge(1)
+    assert pool.used == 4
+    assert pool.stats.failed_charges == 1
+
+
+def test_uncharge_below_zero_raises():
+    pool = FramePool(4)
+    with pytest.raises(ValueError):
+        pool.uncharge(1)
+
+
+def test_watermarks():
+    pool = FramePool(100, low_watermark_fraction=0.8, high_watermark_fraction=0.95)
+    pool.try_charge(79)
+    assert not pool.above_low_watermark
+    pool.try_charge(1)
+    assert pool.above_low_watermark
+    assert not pool.above_high_watermark
+    pool.try_charge(15)
+    assert pool.above_high_watermark
+
+
+def test_reclaim_target():
+    pool = FramePool(100, low_watermark_fraction=0.8)
+    pool.try_charge(90)
+    assert pool.reclaim_target() == 10
+    pool.uncharge(20)
+    assert pool.reclaim_target() == 0
+
+
+def test_peak_tracking():
+    pool = FramePool(10)
+    pool.try_charge(7)
+    pool.uncharge(5)
+    pool.try_charge(1)
+    assert pool.stats.peak_used == 7
+
+
+def test_invalid_construction():
+    with pytest.raises(ValueError):
+        FramePool(0)
+    with pytest.raises(ValueError):
+        FramePool(10, low_watermark_fraction=0.9, high_watermark_fraction=0.5)
+
+
+def test_negative_amounts_rejected():
+    pool = FramePool(10)
+    with pytest.raises(ValueError):
+        pool.try_charge(-1)
+    with pytest.raises(ValueError):
+        pool.uncharge(-1)

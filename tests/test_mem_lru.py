@@ -1,0 +1,147 @@
+"""Unit tests for LRU lists and the active/inactive aging structure."""
+
+import pytest
+
+from repro.mem import ActiveInactiveLRU, LRUList, Page
+
+
+def make_pages(n):
+    return [Page(vpn) for vpn in range(n)]
+
+
+def test_lru_add_and_pop_order():
+    lru = LRUList()
+    pages = make_pages(3)
+    for page in pages:
+        lru.add_to_head(page)
+    assert lru.pop_tail() is pages[0]
+    assert lru.pop_tail() is pages[1]
+    assert lru.pop_tail() is pages[2]
+    assert lru.pop_tail() is None
+
+
+def test_lru_move_to_head_changes_victim():
+    lru = LRUList()
+    pages = make_pages(3)
+    for page in pages:
+        lru.add_to_head(page)
+    lru.move_to_head(pages[0])
+    assert lru.pop_tail() is pages[1]
+
+
+def test_lru_duplicate_add_rejected():
+    lru = LRUList()
+    page = Page(0)
+    lru.add_to_head(page)
+    with pytest.raises(ValueError):
+        lru.add_to_head(page)
+
+
+def test_lru_head_pages_mru_first():
+    lru = LRUList()
+    pages = make_pages(5)
+    for page in pages:
+        lru.add_to_head(page)
+    head = lru.head_pages(3)
+    assert head == [pages[4], pages[3], pages[2]]
+
+
+def test_lru_head_pages_larger_than_list():
+    lru = LRUList()
+    pages = make_pages(2)
+    for page in pages:
+        lru.add_to_head(page)
+    assert len(lru.head_pages(10)) == 2
+
+
+def test_lru_discard():
+    lru = LRUList()
+    page = Page(0)
+    assert not lru.discard(page)
+    lru.add_to_head(page)
+    assert lru.discard(page)
+    assert len(lru) == 0
+
+
+def test_active_inactive_insert_goes_inactive():
+    lru = ActiveInactiveLRU()
+    page = Page(0)
+    lru.insert(page)
+    assert page in lru.inactive
+    assert page not in lru.active
+
+
+def test_access_promotes_to_active():
+    lru = ActiveInactiveLRU()
+    page = Page(0)
+    lru.insert(page)
+    lru.note_access(page)
+    assert page in lru.active
+
+
+def test_access_unknown_page_raises():
+    lru = ActiveInactiveLRU()
+    with pytest.raises(ValueError):
+        lru.note_access(Page(0))
+
+
+def test_select_victim_prefers_inactive_tail():
+    lru = ActiveInactiveLRU()
+    pages = make_pages(3)
+    for page in pages:
+        lru.insert(page)
+    victim = lru.select_victim()
+    assert victim is pages[0]
+
+
+def test_select_victim_gives_second_chance():
+    lru = ActiveInactiveLRU()
+    pages = make_pages(2)
+    for page in pages:
+        lru.insert(page)
+    pages[0].referenced = True
+    victim = lru.select_victim()
+    assert victim is pages[1]
+    assert not pages[0].referenced  # second chance consumed
+
+
+def test_select_victim_falls_back_to_active():
+    lru = ActiveInactiveLRU()
+    pages = make_pages(4)
+    for page in pages:
+        lru.insert(page)
+        lru.note_access(page)  # all active
+    assert len(lru.inactive) == 0
+    victim = lru.select_victim()
+    assert victim is not None
+
+
+def test_balance_demotes_active_tail():
+    lru = ActiveInactiveLRU()
+    pages = make_pages(4)
+    for page in pages:
+        lru.insert(page)
+        lru.note_access(page)
+    demoted = lru.balance(0.5)
+    assert demoted == 2
+    assert len(lru.inactive) == 2
+
+
+def test_remove_from_either_list():
+    lru = ActiveInactiveLRU()
+    a, b = make_pages(2)
+    lru.insert(a)
+    lru.insert(b)
+    lru.note_access(b)
+    lru.remove(a)
+    lru.remove(b)
+    assert len(lru) == 0
+
+
+def test_len_and_contains():
+    lru = ActiveInactiveLRU()
+    page = Page(0)
+    assert page not in lru
+    lru.insert(page)
+    assert page in lru
+    assert len(lru) == 1

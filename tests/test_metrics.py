@@ -1,0 +1,194 @@
+"""Unit tests for metric collectors and report formatting."""
+
+import pytest
+
+from repro.metrics import (
+    BandwidthMeter,
+    Histogram,
+    RateMeter,
+    format_series,
+    format_table,
+    weighted_min_max_ratio,
+)
+
+
+# -- Histogram ----------------------------------------------------------------
+
+
+def test_histogram_mean_min_max():
+    hist = Histogram()
+    hist.extend([1.0, 2.0, 3.0, 4.0])
+    assert hist.mean == pytest.approx(2.5)
+    assert hist.min_value == 1.0
+    assert hist.max_value == 4.0
+    assert hist.count == 4
+
+
+def test_histogram_percentiles():
+    hist = Histogram()
+    hist.extend(float(i) for i in range(1, 101))
+    assert hist.percentile(50) == pytest.approx(50.5)
+    assert hist.percentile(99) == pytest.approx(99.01)
+    assert hist.percentile(0) == 1.0
+    assert hist.percentile(100) == 100.0
+
+
+def test_histogram_empty():
+    hist = Histogram()
+    assert hist.mean == 0.0
+    assert hist.percentile(50) == 0.0
+    assert hist.cdf() == []
+    assert hist.fraction_above(10) == 0.0
+
+
+def test_histogram_fraction_above():
+    hist = Histogram()
+    hist.extend([1.0, 2.0, 3.0, 4.0])
+    assert hist.fraction_above(2.0) == pytest.approx(0.5)
+    assert hist.fraction_above(0.0) == 1.0
+    assert hist.fraction_above(4.0) == 0.0
+
+
+def test_histogram_cdf_points():
+    hist = Histogram()
+    hist.extend([1.0, 2.0, 3.0, 4.0])
+    cdf = hist.cdf(points=[2.5])
+    assert cdf == [(2.5, 0.5)]
+
+
+def test_histogram_stddev():
+    hist = Histogram()
+    hist.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+    assert hist.stddev == pytest.approx(2.138, rel=1e-3)
+
+
+def test_histogram_insertion_after_percentile_query():
+    hist = Histogram()
+    hist.extend([1.0, 2.0])
+    assert hist.percentile(100) == 2.0
+    hist.record(10.0)
+    assert hist.percentile(100) == 10.0  # sorted cache invalidated
+
+
+# -- RateMeter -----------------------------------------------------------------
+
+
+def test_rate_meter_series():
+    meter = RateMeter(bin_us=1000.0)
+    meter.record(100.0)
+    meter.record(200.0)
+    meter.record(1500.0)
+    series = meter.series()
+    assert series == [(0.0, 2000.0), (1000.0, 1000.0)]
+
+
+def test_rate_meter_mean_and_peak():
+    meter = RateMeter(bin_us=1000.0)
+    for t in (0.0, 1.0, 2.0, 1500.0):
+        meter.record(t)
+    assert meter.mean_rate_per_second(2000.0) == pytest.approx(2000.0)
+    assert meter.peak_rate_per_second() == pytest.approx(3000.0)
+
+
+def test_rate_meter_invalid_bin():
+    with pytest.raises(ValueError):
+        RateMeter(bin_us=0)
+
+
+# -- BandwidthMeter --------------------------------------------------------------
+
+
+def test_bandwidth_meter_mbps():
+    meter = BandwidthMeter(bin_us=1000.0)
+    meter.record("a", 0.0, 4096)
+    meter.record("a", 500.0, 4096)
+    meter.record("b", 0.0, 8192)
+    # bytes/µs == MB/s
+    assert meter.mean_mbps("a", 1000.0) == pytest.approx(8192 / 1000.0)
+    assert meter.total_mean_mbps(1000.0) == pytest.approx(16384 / 1000.0)
+
+
+def test_bandwidth_meter_peak_total():
+    meter = BandwidthMeter(bin_us=1000.0)
+    meter.record("a", 100.0, 1000)
+    meter.record("b", 200.0, 1000)
+    meter.record("a", 1500.0, 500)
+    assert meter.peak_total_mbps() == pytest.approx(2.0)
+
+
+def test_bandwidth_meter_streams():
+    meter = BandwidthMeter()
+    meter.record("b", 0.0, 1)
+    meter.record("a", 0.0, 1)
+    assert meter.streams() == ["a", "b"]
+
+
+# -- WMMR -----------------------------------------------------------------------
+
+
+def test_wmmr_perfect_fairness():
+    assert weighted_min_max_ratio({"a": 10.0, "b": 10.0}, {"a": 1, "b": 1}) == 1.0
+
+
+def test_wmmr_weighted():
+    # b has twice the weight and twice the bandwidth: still fair.
+    assert weighted_min_max_ratio({"a": 5.0, "b": 10.0}, {"a": 1, "b": 2}) == 1.0
+
+
+def test_wmmr_unfair():
+    assert weighted_min_max_ratio({"a": 1.0, "b": 10.0}, {"a": 1, "b": 1}) == pytest.approx(0.1)
+
+
+def test_wmmr_empty_and_zero():
+    assert weighted_min_max_ratio({}, {}) == 1.0
+    assert weighted_min_max_ratio({"a": 0.0, "b": 0.0}, {"a": 1, "b": 1}) == 1.0
+
+
+def test_wmmr_invalid_weight():
+    with pytest.raises(ValueError):
+        weighted_min_max_ratio({"a": 1.0}, {"a": 0.0})
+
+
+# -- formatting ---------------------------------------------------------------------
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "value"], [["spark", 1.5], ["x", 20000.0]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert "20,000" in lines[3]
+
+
+def test_format_series():
+    out = format_series("title", {"a": [(0.0, 1.0), (5.0, 2.0)]}, unit="MB/s")
+    assert "title" in out
+    assert "a MB/s" in out
+
+
+def test_bandwidth_total_until():
+    meter = BandwidthMeter(bin_us=1000.0)
+    meter.record("a", 500.0, 100)
+    meter.record("a", 1500.0, 200)
+    meter.record("a", 2500.0, 400)
+    assert meter.total_until("a", 2000.0) == 300
+    assert meter.total_until("a", 10_000.0) == 700
+    assert meter.total_until("missing", 10_000.0) == 0
+
+
+def test_format_cdf():
+    from repro.metrics import format_cdf
+
+    out = format_cdf(
+        "latency",
+        {"demand": {"p50": 5.0, "p99": 40.0}, "prefetch": {"p50": 100.0, "p99": 900.0}},
+    )
+    assert "latency" in out
+    assert "demand" in out and "prefetch" in out
+
+
+def test_format_cdf_empty():
+    from repro.metrics import format_cdf
+
+    out = format_cdf("t", {})
+    assert out.startswith("t")

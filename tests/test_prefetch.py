@@ -1,0 +1,288 @@
+"""Unit tests for the prefetcher family."""
+
+import pytest
+
+from repro.prefetch import (
+    KernelReadahead,
+    LeapPrefetcher,
+    PageGroupGraph,
+    Prefetcher,
+    ReferenceGraphPrefetcher,
+    ThreadPatternPrefetcher,
+    majority_vote,
+)
+
+
+# -- majority vote -----------------------------------------------------------
+
+
+def test_majority_vote_clear_majority():
+    assert majority_vote([1, 1, 2, 1, 1]) == 1
+
+
+def test_majority_vote_no_majority():
+    assert majority_vote([1, 2, 3, 4]) is None
+
+
+def test_majority_vote_exact_half_is_not_majority():
+    assert majority_vote([1, 1, 2, 2]) is None
+
+
+def test_majority_vote_empty():
+    assert majority_vote([]) is None
+
+
+def test_majority_vote_negative_strides():
+    assert majority_vote([-2, -2, 5, -2]) == -2
+
+
+# -- null prefetcher -----------------------------------------------------------
+
+
+def test_null_prefetcher_proposes_nothing():
+    pf = Prefetcher()
+    assert pf.on_fault("a", 0, 100, 0.0) == []
+    assert pf.stats.faults_observed == 1
+
+
+# -- kernel readahead ----------------------------------------------------------
+
+
+def test_readahead_initial_readaround_window():
+    pf = KernelReadahead()
+    vpns = pf.on_fault("a", 0, 100, 0.0)  # first miss absorbs (MISS_DECAY)
+    assert vpns == [101, 102, 103, 104]
+
+
+def test_readahead_hits_grow_window_to_cap():
+    pf = KernelReadahead(max_window=8)
+    pf.on_fault("a", 0, 100, 0.0)
+    out = pf.on_fault("a", 0, 101, 1.0, prefetched_hit=True)
+    assert len(out) == 8  # score back at the cap
+    out = pf.on_fault("a", 0, 102, 2.0, prefetched_hit=True)
+    assert len(out) == 8  # capped at page_cluster-style maximum
+
+
+def test_readahead_follows_confirmed_stride():
+    pf = KernelReadahead()
+    pf.on_fault("a", 0, 100, 0.0, prefetched_hit=True)
+    pf.on_fault("a", 0, 104, 1.0, prefetched_hit=True)  # delta 4, unconfirmed
+    vpns = pf.on_fault("a", 0, 108, 2.0, prefetched_hit=True)  # confirmed
+    assert vpns[0] == 112
+    assert vpns[1] - vpns[0] == 4
+
+
+def test_readahead_unconfirmed_stride_reads_around():
+    pf = KernelReadahead()
+    pf.on_fault("a", 0, 100, 0.0)
+    vpns = pf.on_fault("a", 0, 104, 1.0, prefetched_hit=True)
+    assert vpns[0] == 105  # contiguous readaround until confirmation
+    assert vpns[1] - vpns[0] == 1
+
+
+RANDOM_VPNS = [10, 250, 30, 400, 170, 330, 60, 490, 220, 140, 470, 90]
+
+
+def test_readahead_misses_shrink_to_silence():
+    """§2: with no pattern the window shrinks until prefetching stops.
+
+    The score drops one step per MISS_DECAY(=2) misses:
+    4, 4, 2, 2, 1, 1, silent... (apart from sparse probes).
+    """
+    pf = KernelReadahead()
+    proposals = [
+        len(pf.on_fault("a", 0, vpn, float(i)))
+        for i, vpn in enumerate(RANDOM_VPNS)
+    ]
+    assert proposals[:6] == [4, 2, 2, 1, 1, 0]
+    assert set(proposals[6:]) <= {0, 1}  # silence, modulo probes
+    assert proposals[-1] == 0 or proposals.count(0) >= 4
+
+
+def test_readahead_probes_while_silent():
+    pf = KernelReadahead()
+    proposals = []
+    for i in range(40):
+        vpn = RANDOM_VPNS[i % len(RANDOM_VPNS)] + 500 * (i % 7)
+        proposals.append(len(pf.on_fault("a", 0, vpn % 512, float(i))))
+    silent_region = proposals[6:]
+    assert 0 in silent_region
+    assert 1 in silent_region  # sparse probes keep hope alive
+
+
+def test_readahead_recovers_after_hits_resume():
+    pf = KernelReadahead()
+    for i, vpn in enumerate(RANDOM_VPNS):
+        pf.on_fault("a", 0, vpn, float(i))  # driven silent
+    assert pf.window_of("a", 10) == 0
+    pf.on_fault("a", 0, 100, 20.0, prefetched_hit=True)
+    pf.on_fault("a", 0, 101, 21.0, prefetched_hit=True)
+    assert pf.window_of("a", 100) >= 1
+
+
+def test_readahead_buckets_are_per_app():
+    pf = KernelReadahead()
+    # Drive app b silent; app a's window must be unaffected.
+    for i, vpn in enumerate(RANDOM_VPNS):
+        pf.on_fault("b", 0, vpn, float(i))
+    assert pf.window_of("b", 10) == 0
+    assert pf.window_of("a", 10) > 0
+
+
+def test_readahead_window_of_matches_proposals():
+    pf = KernelReadahead()
+    pf.on_fault("a", 0, 100, 0.0)
+    window = pf.window_of("a", 100)
+    vpns = pf.on_fault("a", 0, 101, 1.0, prefetched_hit=True)
+    assert len(vpns) == min(8, 2 * window)
+
+
+# -- Leap -----------------------------------------------------------------------
+
+
+def test_leap_follows_majority_stride():
+    pf = LeapPrefetcher()
+    for i in range(8):
+        vpns = pf.on_fault("a", 0, 100 + 2 * i, float(i))
+    assert vpns
+    assert vpns[0] == 100 + 14 + 2
+
+
+def test_leap_aggressive_fallback_prefetches_contiguous():
+    pf = LeapPrefetcher(aggressive=True)
+    vpns = []
+    for i, vpn in enumerate([10, 900, 44, 12345, 77, 31000]):
+        vpns = pf.on_fault("a", 0, vpn, float(i))
+    assert vpns  # still prefetches despite no pattern
+    assert vpns[0] == 31001  # contiguous readaround
+
+
+def test_leap_conservative_mode_stays_silent():
+    pf = LeapPrefetcher(aggressive=False)
+    out = []
+    for i, vpn in enumerate([10, 900, 44, 12345, 77, 31000]):
+        out = pf.on_fault("a", 0, vpn, float(i))
+    assert out == []
+
+
+def test_leap_shared_history_cross_app_interference():
+    """Interleaving a second app's faults destroys the first app's trend.
+
+    App a walks stride 2; the aggressive fallback prefetches stride 1, so
+    only a genuine majority vote can produce a vpn+2 first proposal.
+    """
+    shared = LeapPrefetcher(per_app_history=False)
+    solo = LeapPrefetcher(per_app_history=False)
+    follow = {"shared": 0, "solo": 0}
+    for i in range(32):
+        vpns = solo.on_fault("a", 0, 100 + 2 * i, float(i))
+        if vpns and vpns[0] == 100 + 2 * i + 2:
+            follow["solo"] += 1
+        vpns = shared.on_fault("a", 0, 100 + 2 * i, float(i))
+        if vpns and vpns[0] == 100 + 2 * i + 2:
+            follow["shared"] += 1
+        # App b interleaves pointer-chasing faults into the shared window.
+        shared.on_fault("b", 0, (i * 7919) % 100000 + 1_000_000, float(i) + 0.5)
+    assert follow["solo"] > follow["shared"]
+
+
+def test_leap_per_app_history_restores_isolation():
+    isolated = LeapPrefetcher(per_app_history=True)
+    follow = 0
+    for i in range(32):
+        vpns = isolated.on_fault("a", 0, 100 + 2 * i, float(i))
+        if vpns and vpns[0] == 100 + 2 * i + 2:
+            follow += 1
+        isolated.on_fault("b", 0, (i * 7919) % 100000 + 1_000_000, float(i) + 0.5)
+    assert follow > 20
+
+
+# -- per-thread patterns ----------------------------------------------------------
+
+
+def test_thread_pattern_separates_threads():
+    pf = ThreadPatternPrefetcher()
+    # Thread 0 walks stride 1, thread 1 walks stride 3, interleaved.
+    last0, last1 = [], []
+    for i in range(10):
+        last0 = pf.on_fault("a", 0, 100 + i, float(i))
+        last1 = pf.on_fault("a", 1, 5000 + 3 * i, float(i))
+    assert last0 and last0[0] == 100 + 9 + 1
+    assert last1 and last1[1] - last1[0] == 3
+
+
+def test_thread_pattern_no_trend_no_proposal():
+    pf = ThreadPatternPrefetcher()
+    out = []
+    for i, vpn in enumerate([10, 900, 44, 12345, 77]):
+        out = pf.on_fault("a", 0, vpn, float(i))
+    assert out == []
+
+
+def test_thread_pattern_trend_query():
+    pf = ThreadPatternPrefetcher()
+    for i in range(6):
+        pf.observe("a", 7, 100 + 2 * i)
+    assert pf.trend("a", 7) == 2
+    assert pf.trend("a", 8) is None
+
+
+# -- reference graph -----------------------------------------------------------
+
+
+def test_graph_group_of():
+    graph = PageGroupGraph(group_pages=16)
+    assert graph.group_of(0) == 0
+    assert graph.group_of(15) == 0
+    assert graph.group_of(16) == 1
+
+
+def test_graph_intra_group_edge_ignored():
+    graph = PageGroupGraph(group_pages=16)
+    graph.record_reference(0, 5)
+    assert graph.edge_count == 0
+
+
+def test_graph_edge_and_reachability():
+    graph = PageGroupGraph(group_pages=4)
+    graph.record_reference(0, 4)   # group 0 -> 1
+    graph.record_reference(4, 8)   # group 1 -> 2
+    graph.record_reference(8, 12)  # group 2 -> 3
+    graph.record_reference(12, 0)  # group 3 -> 0 (cycle back)
+    reached = graph.reachable_groups(0, max_hops=3)
+    assert reached == [1, 2, 3]  # cycle not refollowed, 3 hops deep
+
+
+def test_graph_hop_limit():
+    graph = PageGroupGraph(group_pages=4)
+    for g in range(5):
+        graph.record_reference(g * 4, (g + 1) * 4)
+    assert graph.reachable_groups(0, max_hops=2) == [1, 2]
+
+
+def test_reference_prefetcher_proposes_group_pages():
+    graph = PageGroupGraph(group_pages=4)
+    graph.record_reference(0, 8)  # group 0 -> group 2
+    pf = ReferenceGraphPrefetcher(graph, max_hops=3)
+    vpns = pf.on_fault("a", 0, 1, 0.0)
+    assert vpns == [8, 9, 10, 11]
+
+
+def test_reference_prefetcher_caps_pages():
+    graph = PageGroupGraph(group_pages=8)
+    for g in range(1, 10):
+        graph.record_reference(0, g * 8)
+    pf = ReferenceGraphPrefetcher(graph, max_pages=10)
+    vpns = pf.on_fault("a", 0, 0, 0.0)
+    assert len(vpns) == 10
+
+
+def test_reference_prefetcher_isolated_page_proposes_nothing():
+    graph = PageGroupGraph()
+    pf = ReferenceGraphPrefetcher(graph)
+    assert pf.on_fault("a", 0, 12345, 0.0) == []
+
+
+def test_graph_invalid_group_size():
+    with pytest.raises(ValueError):
+        PageGroupGraph(0)

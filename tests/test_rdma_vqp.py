@@ -1,0 +1,113 @@
+"""Unit tests for virtual queue pairs."""
+
+from repro.rdma import RdmaOp, RdmaRequest, RequestKind, VirtualQP
+from repro.sim import Engine
+from repro.swap import SwapPartition
+
+
+def make_request(part, kind=RequestKind.DEMAND, op=RdmaOp.READ):
+    return RdmaRequest(op, kind, "app", part.pop_free())
+
+
+def test_push_stamps_enqueue_time():
+    eng = Engine()
+    eng.call_after(5.0, lambda: None)
+    eng.run()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    req = make_request(part)
+    vqp.push(req)
+    assert req.enqueued_at_us == 5.0
+
+
+def test_prefetch_push_stamps_swap_entry():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    req = make_request(part, kind=RequestKind.PREFETCH)
+    assert req.entry.timestamp_us is None
+    vqp.push(req)
+    assert req.entry.timestamp_us == 0.0
+
+
+def test_demand_push_does_not_stamp_entry():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    req = make_request(part, kind=RequestKind.DEMAND)
+    vqp.push(req)
+    assert req.entry.timestamp_us is None
+
+
+def test_pop_fifo_per_kind():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    first = make_request(part)
+    second = make_request(part)
+    vqp.push(first)
+    vqp.push(second)
+    assert vqp.pop(RequestKind.DEMAND) is first
+    assert vqp.pop(RequestKind.DEMAND) is second
+    assert vqp.pop(RequestKind.DEMAND) is None
+
+
+def test_kinds_are_independent_queues():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    demand = make_request(part, kind=RequestKind.DEMAND)
+    prefetch = make_request(part, kind=RequestKind.PREFETCH)
+    vqp.push(prefetch)
+    vqp.push(demand)
+    assert vqp.depth(RequestKind.DEMAND) == 1
+    assert vqp.depth(RequestKind.PREFETCH) == 1
+    assert vqp.pop(RequestKind.DEMAND) is demand
+
+
+def test_pop_discards_dropped_requests():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    stale = make_request(part, kind=RequestKind.PREFETCH)
+    fresh = make_request(part, kind=RequestKind.PREFETCH)
+    vqp.push(stale)
+    vqp.push(fresh)
+    stale.dropped = True
+    assert vqp.pop(RequestKind.PREFETCH) is fresh
+    assert vqp.dropped_total == 1
+
+
+def test_peek_skips_dropped():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    stale = make_request(part, kind=RequestKind.PREFETCH)
+    fresh = make_request(part, kind=RequestKind.PREFETCH)
+    vqp.push(stale)
+    vqp.push(fresh)
+    stale.dropped = True
+    assert vqp.peek(RequestKind.PREFETCH) is fresh
+    assert vqp.depth(RequestKind.PREFETCH) == 2  # peek does not consume
+
+
+def test_has_pending():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    assert not vqp.has_pending()
+    req = make_request(part)
+    vqp.push(req)
+    assert vqp.has_pending()
+    req.dropped = True
+    assert not vqp.has_pending()
+
+
+def test_len_counts_all_kinds():
+    eng = Engine()
+    vqp = VirtualQP(eng, "app")
+    part = SwapPartition("p", 8)
+    vqp.push(make_request(part, kind=RequestKind.DEMAND))
+    vqp.push(make_request(part, kind=RequestKind.PREFETCH))
+    vqp.push(make_request(part, kind=RequestKind.SWAPOUT, op=RdmaOp.WRITE))
+    assert len(vqp) == 3

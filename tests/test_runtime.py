@@ -1,0 +1,95 @@
+"""Unit tests for the JVM and native runtime models."""
+
+from repro.runtime import LARGE_ARRAY_PAGES, JvmRuntime, NativeRuntime
+
+
+def make_jvm():
+    jvm = JvmRuntime("app", group_pages=4)
+    jvm.register_threads(app_tids=[0, 1, 2, 3], aux_tids=[4, 5])
+    return jvm
+
+
+def test_thread_map_registration():
+    jvm = make_jvm()
+    assert 0 in jvm.app_thread_ids
+    assert 4 in jvm.aux_thread_ids
+    assert jvm.many_threads
+
+
+def test_gc_thread_faults_ignored():
+    jvm = make_jvm()
+    assert jvm.handle_forwarded_fault(4, 100) == []
+    assert jvm.stats.gc_faults_ignored == 1
+    assert jvm.stats.faults_handled == 0
+
+
+def test_small_array_not_registered():
+    jvm = make_jvm()
+    jvm.record_large_array(0, LARGE_ARRAY_PAGES - 1)
+    assert not jvm.in_large_array(0)
+
+
+def test_large_array_registered_and_bounds():
+    jvm = make_jvm()
+    jvm.record_large_array(1000, LARGE_ARRAY_PAGES)
+    assert jvm.in_large_array(1000)
+    assert jvm.in_large_array(1000 + LARGE_ARRAY_PAGES - 1)
+    assert not jvm.in_large_array(1000 + LARGE_ARRAY_PAGES)
+    assert not jvm.in_large_array(999)
+
+
+def test_write_barrier_records_cross_group_edges():
+    jvm = make_jvm()
+    jvm.record_reference(0, 100)
+    assert jvm.stats.barrier_edges_recorded == 1
+    jvm.record_reference(0, 1)  # same group (group_pages=4)
+    assert jvm.stats.barrier_edges_recorded == 1
+
+
+def test_policy_uses_thread_pattern_in_large_array():
+    jvm = make_jvm()
+    jvm.record_large_array(0, LARGE_ARRAY_PAGES * 2)
+    # App thread 0 walks a stride inside the array.
+    out = []
+    for i in range(8):
+        out = jvm.handle_forwarded_fault(0, 10 + 2 * i)
+    assert jvm.stats.thread_pattern_used > 0
+    assert jvm.stats.reference_pattern_used == 0
+    assert out and out[0] == 10 + 14 + 2
+
+
+def test_policy_uses_reference_pattern_outside_arrays():
+    jvm = make_jvm()
+    # Two-hop chain: the prefetcher skips hop-1 (too close to be timely)
+    # and proposes hop-2 onward.
+    jvm.record_reference(100, 200)
+    jvm.record_reference(200, 300)
+    out = jvm.handle_forwarded_fault(0, 101)
+    assert jvm.stats.reference_pattern_used == 1
+    assert 300 in out
+    assert 200 not in out  # hop-1 filtered for timeliness
+
+
+def test_policy_uses_reference_pattern_with_few_threads():
+    jvm = JvmRuntime("app", group_pages=4)
+    jvm.register_threads(app_tids=[0], aux_tids=[])
+    jvm.record_large_array(0, LARGE_ARRAY_PAGES * 2)
+    jvm.handle_forwarded_fault(0, 10)
+    assert jvm.stats.reference_pattern_used == 1
+
+
+def test_native_runtime_thread_pattern_only():
+    native = NativeRuntime("app")
+    out = []
+    for i in range(8):
+        out = native.handle_forwarded_fault(0, 100 + 3 * i)
+    assert native.stats.thread_pattern_used == 8
+    assert out and out[1] - out[0] == 3
+
+
+def test_native_runtime_ignores_registration_calls():
+    native = NativeRuntime("app")
+    native.record_large_array(0, 10000)
+    native.record_reference(0, 100)
+    native.register_threads([0], [])
+    assert native.stats.barrier_edges_recorded == 0

@@ -1,0 +1,294 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, Interrupt, SimulationError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    times = []
+
+    def proc(eng):
+        yield eng.timeout(3.5)
+        times.append(eng.now)
+
+    eng.spawn(proc(eng))
+    eng.run()
+    assert times == [3.5]
+
+
+def test_processes_interleave_in_time_order():
+    eng = Engine()
+    order = []
+
+    def proc(eng, name, delay):
+        yield eng.timeout(delay)
+        order.append(name)
+
+    eng.spawn(proc(eng, "late", 10.0))
+    eng.spawn(proc(eng, "early", 1.0))
+    eng.spawn(proc(eng, "mid", 5.0))
+    eng.run()
+    assert order == ["early", "mid", "late"]
+
+
+def test_equal_timestamps_fifo_order():
+    eng = Engine()
+    order = []
+
+    def proc(eng, name):
+        yield eng.timeout(1.0)
+        order.append(name)
+
+    for i in range(5):
+        eng.spawn(proc(eng, i))
+    eng.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_process_return_value_propagates():
+    eng = Engine()
+
+    def child(eng):
+        yield eng.timeout(2.0)
+        return 42
+
+    def parent(eng, out):
+        value = yield eng.spawn(child(eng))
+        out.append(value)
+
+    out = []
+    eng.spawn(parent(eng, out))
+    eng.run()
+    assert out == [42]
+
+
+def test_event_succeed_wakes_waiter_with_value():
+    eng = Engine()
+    got = []
+    evt = eng.event()
+
+    def waiter(eng):
+        value = yield evt
+        got.append((eng.now, value))
+
+    def firer(eng):
+        yield eng.timeout(7.0)
+        evt.succeed("payload")
+
+    eng.spawn(waiter(eng))
+    eng.spawn(firer(eng))
+    eng.run()
+    assert got == [(7.0, "payload")]
+
+
+def test_event_fires_only_once():
+    eng = Engine()
+    evt = eng.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    eng = Engine()
+    evt = eng.event()
+    caught = []
+
+    def waiter(eng):
+        try:
+            yield evt
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    eng.spawn(waiter(eng))
+    evt.fail(ValueError("boom"))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_late_event_subscription_still_delivers():
+    eng = Engine()
+    evt = eng.event()
+    evt.succeed("early")
+    got = []
+
+    def waiter(eng):
+        value = yield evt
+        got.append(value)
+
+    eng.spawn(waiter(eng))
+    eng.run()
+    assert got == ["early"]
+
+
+def test_all_of_collects_values():
+    eng = Engine()
+    results = []
+
+    def child(eng, delay, value):
+        yield eng.timeout(delay)
+        return value
+
+    def parent(eng):
+        procs = [eng.spawn(child(eng, d, d * 10)) for d in (3.0, 1.0, 2.0)]
+        values = yield eng.all_of(procs)
+        results.append((eng.now, values))
+
+    eng.spawn(parent(eng))
+    eng.run()
+    assert results == [(3.0, [30.0, 10.0, 20.0])]
+
+
+def test_any_of_returns_first():
+    eng = Engine()
+    results = []
+
+    def child(eng, delay, value):
+        yield eng.timeout(delay)
+        return value
+
+    def parent(eng):
+        procs = [eng.spawn(child(eng, d, d) ) for d in (3.0, 1.0, 2.0)]
+        index, value = yield eng.any_of(procs)
+        results.append((eng.now, index, value))
+
+    eng.spawn(parent(eng))
+    eng.run()
+    assert results == [(1.0, 1, 1.0)]
+
+
+def test_run_until_stops_clock_at_bound():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(100.0)
+
+    eng.spawn(proc(eng))
+    eng.run(until=40.0)
+    assert eng.now == 40.0
+    assert eng.pending_events == 1
+
+
+def test_run_until_fired_returns_value():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(5.0)
+        return "done"
+
+    handle = eng.spawn(proc(eng))
+    assert eng.run_until_fired(handle) == "done"
+    assert eng.now == 5.0
+
+
+def test_run_until_fired_raises_when_unreachable():
+    eng = Engine()
+    evt = eng.event()
+    with pytest.raises(SimulationError):
+        eng.run_until_fired(evt)
+
+
+def test_interrupt_delivers_cause():
+    eng = Engine()
+    log = []
+
+    def sleeper(eng):
+        try:
+            yield eng.timeout(1000.0)
+        except Interrupt as intr:
+            log.append((eng.now, intr.cause))
+
+    def killer(eng, victim):
+        yield eng.timeout(4.0)
+        victim.interrupt("stop")
+
+    victim = eng.spawn(sleeper(eng))
+    eng.spawn(killer(eng, victim))
+    eng.run()
+    assert log == [(4.0, "stop")]
+
+
+def test_interrupted_process_ignores_stale_wakeup():
+    eng = Engine()
+    log = []
+
+    def sleeper(eng):
+        try:
+            yield eng.timeout(5.0)
+            log.append("woke")
+        except Interrupt:
+            log.append("interrupted")
+            yield eng.timeout(100.0)
+            log.append("slept-again")
+
+    def killer(eng, victim):
+        yield eng.timeout(1.0)
+        victim.interrupt()
+
+    victim = eng.spawn(sleeper(eng))
+    eng.spawn(killer(eng, victim))
+    eng.run()
+    assert log == ["interrupted", "slept-again"]
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.timeout(-1.0)
+
+
+def test_call_at_and_call_after():
+    eng = Engine()
+    log = []
+    eng.call_at(10.0, lambda: log.append(("at", eng.now)))
+    eng.call_after(3.0, lambda: log.append(("after", eng.now)))
+    eng.run()
+    assert log == [("after", 3.0), ("at", 10.0)]
+
+
+def test_call_at_in_past_rejected():
+    eng = Engine()
+    eng.call_after(5.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimulationError):
+        eng.call_at(1.0, lambda: None)
+
+
+def test_yielding_non_event_is_error():
+    eng = Engine()
+
+    def bad(eng):
+        yield 42
+
+    eng.spawn(bad(eng))
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_run_max_steps_bounds_dispatch():
+    eng = Engine()
+    fired = []
+
+    def proc(eng, i):
+        yield eng.timeout(float(i))
+        fired.append(i)
+
+    for i in range(10):
+        eng.spawn(proc(eng, i))
+    eng.run(max_steps=5)
+    assert len(fired) < 10
+
+
+def test_pending_events_counts_heap():
+    eng = Engine()
+    assert eng.pending_events == 0
+    eng.call_after(5.0, lambda: None)
+    assert eng.pending_events == 1
+    eng.run()
+    assert eng.pending_events == 0

@@ -1,0 +1,212 @@
+"""Unit tests for simulated locks, semaphores, stores, and core sets."""
+
+import pytest
+
+from repro.sim import Engine, FIFOStore, Semaphore, SimLock, SimulationError
+from repro.sim.resources import CoreSet
+
+
+def test_lock_uncontended_acquire_is_immediate():
+    eng = Engine()
+    lock = SimLock(eng, "l")
+    log = []
+
+    def proc(eng):
+        yield lock.acquire()
+        log.append(eng.now)
+        lock.release()
+
+    eng.spawn(proc(eng))
+    eng.run()
+    assert log == [0.0]
+    assert lock.stats.acquisitions == 1
+    assert lock.stats.contended_acquisitions == 0
+
+
+def test_lock_serializes_critical_sections():
+    eng = Engine()
+    lock = SimLock(eng, "l")
+    log = []
+
+    def proc(eng, name):
+        yield lock.acquire()
+        log.append((name, "in", eng.now))
+        yield eng.timeout(10.0)
+        log.append((name, "out", eng.now))
+        lock.release()
+
+    eng.spawn(proc(eng, "a"))
+    eng.spawn(proc(eng, "b"))
+    eng.run()
+    assert log == [
+        ("a", "in", 0.0),
+        ("a", "out", 10.0),
+        ("b", "in", 10.0),
+        ("b", "out", 20.0),
+    ]
+    assert lock.stats.contended_acquisitions == 1
+    assert lock.stats.total_wait_us == 10.0
+    assert lock.stats.total_hold_us == 20.0
+
+
+def test_lock_fifo_ordering_of_waiters():
+    eng = Engine()
+    lock = SimLock(eng, "l")
+    order = []
+
+    def proc(eng, name):
+        yield lock.acquire()
+        order.append(name)
+        yield eng.timeout(1.0)
+        lock.release()
+
+    for name in ("first", "second", "third"):
+        eng.spawn(proc(eng, name))
+    eng.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_lock_release_unlocked_is_error():
+    eng = Engine()
+    lock = SimLock(eng, "l")
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+def test_lock_mean_wait_and_contention_ratio():
+    eng = Engine()
+    lock = SimLock(eng, "l")
+
+    def proc(eng):
+        yield lock.acquire()
+        yield eng.timeout(4.0)
+        lock.release()
+
+    for _ in range(4):
+        eng.spawn(proc(eng))
+    eng.run()
+    assert lock.stats.acquisitions == 4
+    assert lock.stats.contention_ratio == pytest.approx(3 / 4)
+    # waits: 4, 8, 12 -> mean over all acquisitions = 24/4
+    assert lock.stats.mean_wait_us == pytest.approx(6.0)
+
+
+def test_semaphore_limits_concurrency():
+    eng = Engine()
+    sem = Semaphore(eng, 2, "s")
+    running = []
+    peak = []
+
+    def proc(eng):
+        yield sem.acquire()
+        running.append(1)
+        peak.append(len(running))
+        yield eng.timeout(5.0)
+        running.pop()
+        sem.release()
+
+    for _ in range(5):
+        eng.spawn(proc(eng))
+    eng.run()
+    assert max(peak) == 2
+
+
+def test_semaphore_invalid_capacity():
+    with pytest.raises(SimulationError):
+        Semaphore(Engine(), 0)
+
+
+def test_fifo_store_put_then_get():
+    eng = Engine()
+    store = FIFOStore(eng)
+    store.put("x")
+    got = []
+
+    def proc(eng):
+        value = yield store.get()
+        got.append(value)
+
+    eng.spawn(proc(eng))
+    eng.run()
+    assert got == ["x"]
+
+
+def test_fifo_store_get_blocks_until_put():
+    eng = Engine()
+    store = FIFOStore(eng)
+    got = []
+
+    def getter(eng):
+        value = yield store.get()
+        got.append((eng.now, value))
+
+    def putter(eng):
+        yield eng.timeout(9.0)
+        store.put("late")
+
+    eng.spawn(getter(eng))
+    eng.spawn(putter(eng))
+    eng.run()
+    assert got == [(9.0, "late")]
+
+
+def test_fifo_store_preserves_order():
+    eng = Engine()
+    store = FIFOStore(eng)
+    for i in range(5):
+        store.put(i)
+    assert [store.try_get() for _ in range(5)] == [0, 1, 2, 3, 4]
+    assert store.try_get() is None
+
+
+def test_fifo_store_len_and_peek():
+    eng = Engine()
+    store = FIFOStore(eng)
+    store.put("a")
+    store.put("b")
+    assert len(store) == 2
+    assert store.peek_all() == ["a", "b"]
+    assert len(store) == 2  # peek does not consume
+
+
+def test_coreset_parallel_when_enough_cores():
+    eng = Engine()
+    cores = CoreSet(eng, 4)
+    done = []
+
+    def thread(eng):
+        yield from cores.execute(10.0)
+        done.append(eng.now)
+
+    for _ in range(4):
+        eng.spawn(thread(eng))
+    eng.run()
+    assert done == [10.0] * 4
+
+
+def test_coreset_queues_excess_threads():
+    eng = Engine()
+    cores = CoreSet(eng, 1)
+    done = []
+
+    def thread(eng):
+        yield from cores.execute(10.0)
+        done.append(eng.now)
+
+    for _ in range(3):
+        eng.spawn(thread(eng))
+    eng.run()
+    assert done == [10.0, 20.0, 30.0]
+    assert cores.stats.total_runqueue_wait_us == pytest.approx(10.0 + 20.0)
+
+
+def test_coreset_utilization():
+    eng = Engine()
+    cores = CoreSet(eng, 2)
+
+    def thread(eng):
+        yield from cores.execute(10.0)
+
+    eng.spawn(thread(eng))
+    eng.run()
+    assert cores.utilization(10.0) == pytest.approx(0.5)

@@ -1,0 +1,92 @@
+"""Unit tests for swap entries and partitions."""
+
+import pytest
+
+from repro.swap import SwapPartition
+
+
+def test_partition_starts_all_free():
+    part = SwapPartition("p", 16)
+    assert part.free_count == 16
+    assert part.used_count == 0
+    assert part.occupancy == 0.0
+
+
+def test_pop_and_push():
+    part = SwapPartition("p", 4)
+    entry = part.pop_free()
+    assert entry.allocated
+    assert part.free_count == 3
+    part.push_free(entry)
+    assert not entry.allocated
+    assert part.free_count == 4
+
+
+def test_push_resets_canvas_metadata():
+    part = SwapPartition("p", 2)
+    entry = part.pop_free()
+    entry.reserved = True
+    entry.stored_vpn = 0x42
+    entry.timestamp_us = 12.0
+    entry.valid = False
+    part.push_free(entry)
+    assert not entry.reserved
+    assert entry.stored_vpn is None
+    assert entry.timestamp_us is None
+    assert entry.valid
+
+
+def test_exhaustion_raises():
+    part = SwapPartition("p", 2)
+    part.pop_free()
+    part.pop_free()
+    with pytest.raises(RuntimeError):
+        part.pop_free()
+
+
+def test_double_free_rejected():
+    part = SwapPartition("p", 2)
+    entry = part.pop_free()
+    part.push_free(entry)
+    with pytest.raises(ValueError):
+        part.push_free(entry)
+
+
+def test_cross_partition_free_rejected():
+    a = SwapPartition("a", 2)
+    b = SwapPartition("b", 2)
+    entry = a.pop_free()
+    with pytest.raises(ValueError):
+        b.push_free(entry)
+
+
+def test_batch_pop():
+    part = SwapPartition("p", 10)
+    batch = part.pop_free_batch(4)
+    assert len(batch) == 4
+    assert part.free_count == 6
+    assert all(e.allocated for e in batch)
+
+
+def test_batch_pop_clamps_to_available():
+    part = SwapPartition("p", 3)
+    batch = part.pop_free_batch(10)
+    assert len(batch) == 3
+    assert part.free_count == 0
+
+
+def test_occupancy():
+    part = SwapPartition("p", 4)
+    part.pop_free()
+    assert part.occupancy == pytest.approx(0.25)
+
+
+def test_entry_ids_unique_within_partition():
+    part = SwapPartition("p", 100)
+    ids = {e.entry_id for e in part.entries}
+    assert len(ids) == 100
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        SwapPartition("p", 0)

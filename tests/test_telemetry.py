@@ -1,0 +1,76 @@
+"""Unit tests for the telemetry layer."""
+
+import pytest
+
+from repro.kernel.telemetry import Telemetry
+from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
+from repro.swap import SwapPartition
+
+
+def completed_request(op, kind, app, enqueued, completed):
+    part = completed_request._part
+    req = RdmaRequest(op, kind, app, part.pop_free())
+    req.enqueued_at_us = enqueued
+    req.completed_at_us = completed
+    return req
+
+
+completed_request._part = SwapPartition("t", 4096)
+
+
+def test_read_completion_feeds_bandwidth_and_latency():
+    telemetry = Telemetry()
+    req = completed_request(RdmaOp.READ, RequestKind.DEMAND, "a", 0.0, 12.0)
+    telemetry.on_rdma_completion(req)
+    assert telemetry.read_bandwidth.totals["a"] == 4096
+    hist = telemetry.latency_hist("a", RequestKind.DEMAND)
+    assert hist.count == 1
+    assert hist.mean == pytest.approx(12.0)
+
+
+def test_write_completion_goes_to_write_meter():
+    telemetry = Telemetry()
+    req = completed_request(RdmaOp.WRITE, RequestKind.SWAPOUT, "a", 0.0, 9.0)
+    telemetry.on_rdma_completion(req)
+    assert telemetry.write_bandwidth.totals["a"] == 4096
+    assert "a" not in telemetry.read_bandwidth.totals
+
+
+def test_latency_split_by_kind():
+    telemetry = Telemetry()
+    telemetry.on_rdma_completion(
+        completed_request(RdmaOp.READ, RequestKind.DEMAND, "a", 0.0, 5.0)
+    )
+    telemetry.on_rdma_completion(
+        completed_request(RdmaOp.READ, RequestKind.PREFETCH, "a", 0.0, 50.0)
+    )
+    assert telemetry.latency_hist("a", RequestKind.DEMAND).count == 1
+    assert telemetry.latency_hist("a", RequestKind.PREFETCH).count == 1
+
+
+def test_merged_latency_combines_apps():
+    telemetry = Telemetry()
+    for app, latency in (("a", 5.0), ("b", 15.0)):
+        telemetry.on_rdma_completion(
+            completed_request(RdmaOp.READ, RequestKind.DEMAND, app, 0.0, latency)
+        )
+    merged = telemetry.merged_latency(RequestKind.DEMAND)
+    assert merged.count == 2
+    assert merged.mean == pytest.approx(10.0)
+
+
+def test_merged_latency_excludes_other_kinds():
+    telemetry = Telemetry()
+    telemetry.on_rdma_completion(
+        completed_request(RdmaOp.READ, RequestKind.PREFETCH, "a", 0.0, 99.0)
+    )
+    assert telemetry.merged_latency(RequestKind.DEMAND).count == 0
+
+
+def test_meters_are_per_app_and_cached():
+    telemetry = Telemetry()
+    meter = telemetry.swapout_rate("a")
+    assert telemetry.swapout_rate("a") is meter
+    assert telemetry.swapout_rate("b") is not meter
+    assert telemetry.alloc_rate("a") is telemetry.alloc_rate("a")
+    assert telemetry.timeliness_hist("a") is telemetry.timeliness_hist("a")

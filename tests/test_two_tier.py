@@ -1,0 +1,123 @@
+"""Unit tests for two-tier prefetch control and the userfaultfd channel."""
+
+from repro.core.two_tier import TwoTierController
+from repro.kernel import AppContext, CgroupConfig, UserfaultfdChannel
+from repro.sim import Engine
+
+
+def make_uffd(engine=None, handler=None, **kwargs):
+    engine = engine if engine is not None else Engine()
+    app = AppContext(engine, CgroupConfig(name="a", n_cores=2, local_memory_pages=64))
+    issued = []
+
+    def async_prefetch(app_ctx, vpns):
+        issued.extend(vpns)
+        return len(vpns)
+
+    uffd = UserfaultfdChannel(engine, app, async_prefetch=async_prefetch, **kwargs)
+    if handler is not None:
+        uffd.register_handler(handler)
+    return engine, app, uffd, issued
+
+
+# -- userfaultfd channel ---------------------------------------------------------
+
+
+def test_forward_without_handler_is_noop():
+    engine, app, uffd, issued = make_uffd()
+    uffd.forward(0, 100)
+    engine.run(until=100)
+    assert uffd.forwarded == 0
+    assert app.stats.uffd_forwards == 0
+
+
+def test_forward_invokes_handler_and_issues():
+    engine, app, uffd, issued = make_uffd(handler=lambda tid, vpn: [vpn + 1, vpn + 2])
+    uffd.forward(3, 100)
+    engine.run(until=100)
+    assert uffd.forwarded == 1
+    assert uffd.handled == 1
+    assert issued == [101, 102]
+    assert uffd.prefetches_submitted == 2
+
+
+def test_daemon_charges_app_cpu():
+    engine, app, uffd, issued = make_uffd(
+        handler=lambda tid, vpn: [], handler_cost_us=5.0
+    )
+    uffd.forward(0, 1)
+    uffd.forward(0, 2)
+    engine.run(until=1_000)
+    assert app.cores.stats.busy_us >= 10.0
+
+
+def test_queue_overflow_drops():
+    engine, app, uffd, issued = make_uffd(handler=lambda tid, vpn: [], max_queue=2)
+    # The daemon cannot drain between same-instant submissions.
+    for vpn in range(5):
+        uffd.forward(0, vpn)
+    assert uffd.overflow_drops == 3
+    engine.run(until=1_000)
+    assert uffd.handled == 2
+
+
+def test_empty_handler_result_issues_nothing():
+    engine, app, uffd, issued = make_uffd(handler=lambda tid, vpn: [])
+    uffd.forward(0, 100)
+    engine.run(until=100)
+    assert issued == []
+    assert uffd.prefetches_submitted == 0
+
+
+# -- two-tier controller ---------------------------------------------------------
+
+
+class FakeUffd:
+    def __init__(self):
+        self.forwards = []
+        self.has_handler = True
+
+    def forward(self, thread_id, vpn):
+        self.forwards.append((thread_id, vpn))
+
+
+def test_forwarding_starts_after_consecutive_failures():
+    uffd = FakeUffd()
+    ctl = TwoTierController(uffd, fail_threshold_pages=2, consecutive_faults=3)
+    ctl.on_kernel_prefetch(0, 1, pages_issued=0)
+    ctl.on_kernel_prefetch(0, 2, pages_issued=1)
+    assert not ctl.forwarding
+    ctl.on_kernel_prefetch(0, 3, pages_issued=0)
+    assert ctl.forwarding
+    assert uffd.forwards == [(0, 3)]
+    assert ctl.stats.forwarding_activations == 1
+
+
+def test_success_resets_streak_and_stops_forwarding():
+    uffd = FakeUffd()
+    ctl = TwoTierController(uffd, fail_threshold_pages=2, consecutive_faults=2)
+    ctl.on_kernel_prefetch(0, 1, 0)
+    ctl.on_kernel_prefetch(0, 2, 0)
+    assert ctl.forwarding
+    ctl.on_kernel_prefetch(0, 3, 8)  # kernel tier effective again
+    assert not ctl.forwarding
+    ctl.on_kernel_prefetch(0, 4, 0)  # single failure: not enough
+    assert not ctl.forwarding
+
+
+def test_intermittent_failures_do_not_trigger():
+    uffd = FakeUffd()
+    ctl = TwoTierController(uffd, fail_threshold_pages=2, consecutive_faults=3)
+    for vpn in range(10):
+        ctl.on_kernel_prefetch(0, vpn, 0 if vpn % 2 == 0 else 8)
+    assert not ctl.forwarding
+    assert uffd.forwards == []
+
+
+def test_no_forward_without_handler():
+    uffd = FakeUffd()
+    uffd.has_handler = False
+    ctl = TwoTierController(uffd, consecutive_faults=1)
+    ctl.on_kernel_prefetch(0, 1, 0)
+    assert ctl.forwarding
+    assert uffd.forwards == []
