@@ -3,6 +3,10 @@
 Benchmarks print the reproduced rows/series; ``-s`` (or pytest-benchmark's
 normal output capture) shows them.  All experiments are deterministic, so
 one round per benchmark is the meaningful measurement unit.
+
+The terminal summary reports experiment-cache traffic (memory/disk
+hits vs. simulations) and the per-job wall clock, so the effect of
+``$REPRO_CACHE_DIR`` and parallel prewarming is visible in every run.
 """
 
 import sys
@@ -11,3 +15,17 @@ from pathlib import Path
 # Allow `from _common import ...` in benchmark modules when pytest is
 # invoked from the repository root.
 sys.path.insert(0, str(Path(__file__).parent))
+
+
+def pytest_terminal_summary(terminalreporter):
+    from repro.harness.cache import CACHE_STATS
+    from repro.metrics import format_cache_summary, format_run_log
+
+    import _common
+
+    if CACHE_STATS.total_lookups == 0 and not _common.RUN_LOG:
+        return
+    terminalreporter.section("experiment cache")
+    terminalreporter.write_line(format_cache_summary(CACHE_STATS))
+    if _common.RUN_LOG:
+        terminalreporter.write_line(format_run_log(_common.RUN_LOG))

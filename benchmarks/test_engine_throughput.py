@@ -1,0 +1,78 @@
+"""Event-engine throughput: raw dispatch rate of the simulation core.
+
+Not a paper figure — a harness micro-benchmark guarding the engine's
+hot path.  Two workloads bracket what real experiments exercise:
+
+* **timeout storm** — many concurrent processes sleeping repeatedly;
+  stresses the time-ordered heap (schedule + pop per step).
+* **process ping-pong** — two processes waking each other through
+  events with no simulated delay; stresses the zero-delay immediate
+  lane and generator resume, the pattern swap-fault handling hits
+  hardest.
+
+Reported numbers are dispatched callbacks ("steps") per second, read
+from ``Engine.step_count``.  Run with ``--benchmark-enable`` to compare
+before/after engine changes.
+"""
+
+from _common import print_header
+from repro.sim.engine import Engine
+
+STORM_PROCESSES = 100
+STORM_TIMEOUTS = 500
+PING_PONGS = 20_000
+
+
+def timeout_storm() -> int:
+    engine = Engine()
+
+    def sleeper(engine):
+        for _ in range(STORM_TIMEOUTS):
+            yield engine.timeout(1.0)
+
+    for _ in range(STORM_PROCESSES):
+        engine.spawn(sleeper(engine))
+    engine.run()
+    return engine.step_count
+
+
+def ping_pong() -> int:
+    engine = Engine()
+    ping = [engine.event()]
+    pong = [engine.event()]
+
+    def server(engine):
+        for _ in range(PING_PONGS):
+            yield ping[0]
+            ping[0] = engine.event()
+            pong[0].succeed()
+
+    def client(engine):
+        for _ in range(PING_PONGS):
+            ping[0].succeed()
+            yield pong[0]
+            pong[0] = engine.event()
+
+    engine.spawn(server(engine))
+    engine.spawn(client(engine))
+    engine.run()
+    return engine.step_count
+
+
+def _report(benchmark, label, steps):
+    seconds = benchmark.stats.stats.mean
+    rate = steps / seconds
+    benchmark.extra_info["steps"] = steps
+    benchmark.extra_info["steps_per_second"] = rate
+    print_header(f"engine throughput: {label}")
+    print(f"{steps} steps in {seconds:.3f}s -> {rate / 1e6:.2f}M steps/s")
+
+
+def test_engine_timeout_storm(benchmark):
+    steps = benchmark.pedantic(timeout_storm, rounds=3, iterations=1)
+    _report(benchmark, "timeout storm (heap-bound)", steps)
+
+
+def test_engine_ping_pong(benchmark):
+    steps = benchmark.pedantic(ping_pong, rounds=3, iterations=1)
+    _report(benchmark, "event ping-pong (immediate-lane-bound)", steps)

@@ -11,9 +11,11 @@ from _common import (
     NATIVES,
     config,
     geometric_mean,
+    prewarm,
     print_header,
     run_cached,
     slowdowns,
+    solo_jobs,
     solo_times,
 )
 from repro.metrics import format_table
@@ -21,6 +23,10 @@ from repro.metrics import format_table
 
 def _run():
     linux = config("linux")
+    prewarm(
+        solo_jobs(NATIVES + ["spark_lr", "neo4j"], linux)
+        + [(NATIVES + ["spark_lr"], linux), (NATIVES + ["neo4j"], linux)]
+    )
     solo = solo_times(NATIVES + ["spark_lr", "neo4j"], linux)
     with_spark = slowdowns(run_cached(NATIVES + ["spark_lr"], linux), solo)
     with_neo4j = slowdowns(run_cached(NATIVES + ["neo4j"], linux), solo)

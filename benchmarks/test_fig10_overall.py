@@ -12,14 +12,30 @@ from _common import (
     NATIVES,
     config,
     geometric_mean,
+    prewarm,
     print_header,
     run_cached,
+    solo_jobs,
     solo_times,
 )
 from repro.metrics import format_table
 
 
+def _jobs():
+    jobs = []
+    for fraction in (0.25, 0.50):
+        linux = config("linux", local_memory_fraction=fraction)
+        fastswap = config("fastswap", local_memory_fraction=fraction)
+        canvas = config("canvas", local_memory_fraction=fraction)
+        for managed in MANAGED_FOUR:
+            group = NATIVES + [managed]
+            jobs.extend(solo_jobs(group, linux))
+            jobs.extend([(group, linux), (group, fastswap), (group, canvas)])
+    return jobs
+
+
 def _run():
+    prewarm(_jobs())
     data = {}
     for fraction in (0.25, 0.50):
         linux = config("linux", local_memory_fraction=fraction)

@@ -12,6 +12,7 @@ from _common import (
     NATIVES,
     config,
     geometric_mean,
+    prewarm,
     print_header,
     run_cached,
 )
@@ -21,6 +22,9 @@ from repro.metrics import format_table
 def _run():
     linux = config("linux")
     iso = config("canvas-iso")
+    prewarm(
+        [(NATIVES + [managed], cfg) for managed in MANAGED_FOUR for cfg in (linux, iso)]
+    )
     data = {}
     for managed in MANAGED_FOUR:
         group = NATIVES + [managed]

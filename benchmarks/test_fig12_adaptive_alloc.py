@@ -8,7 +8,16 @@ because multi-threaded managed apps otherwise still serialize on their
 (now private) allocator lock.
 """
 
-from _common import MANAGED_FOUR, NATIVES, config, print_header, run_cached, solo_times
+from _common import (
+    MANAGED_FOUR,
+    NATIVES,
+    config,
+    prewarm,
+    print_header,
+    run_cached,
+    solo_jobs,
+    solo_times,
+)
 from repro.metrics import format_table
 
 
@@ -18,6 +27,14 @@ def _run():
         "canvas", adaptive_allocation=False
     )
     with_adaptive = config("canvas", adaptive_allocation=True)
+    prewarm(
+        solo_jobs(MANAGED_FOUR, linux)
+        + [
+            (NATIVES + [managed], cfg)
+            for managed in MANAGED_FOUR
+            for cfg in (without, with_adaptive)
+        ]
+    )
     solo = solo_times(MANAGED_FOUR, linux)
     data = {}
     for managed in MANAGED_FOUR:

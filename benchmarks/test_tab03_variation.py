@@ -13,8 +13,10 @@ from _common import (
     MANAGED_ELEVEN,
     NATIVES,
     config,
+    prewarm,
     print_header,
     run_cached,
+    solo_jobs,
     solo_times,
 )
 from repro.metrics import format_table
@@ -27,6 +29,14 @@ CORUNNERS = ["spark_lr", "spark_km", "cassandra", "neo4j", "graphx_cc", "spark_s
 
 def _run():
     linux = config("linux")
+    prewarm(
+        solo_jobs(NATIVES, linux)
+        + [
+            (NATIVES + [managed], config(system))
+            for managed in CORUNNERS
+            for system in ("linux", "fastswap", "canvas")
+        ]
+    )
     solo = solo_times(NATIVES, linux)
     slowdowns = {system: {name: [] for name in NATIVES} for system in ("linux", "fastswap", "canvas")}
     for managed in CORUNNERS:

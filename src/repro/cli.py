@@ -6,9 +6,15 @@ Run one application alone on Canvas::
 
     canvas-sim run --system canvas --apps memcached
 
-Co-run the paper's headline group on every system and compare::
+Co-run the paper's headline group on every system and compare, one
+worker process per system::
 
-    canvas-sim compare --apps snappy memcached xgboost spark_lr
+    canvas-sim compare --apps snappy memcached xgboost spark_lr --workers 4
+
+Inspect or clear the persistent result cache (``$REPRO_CACHE_DIR``)::
+
+    canvas-sim cache info
+    canvas-sim cache clear
 
 List available workloads and systems::
 
@@ -21,8 +27,10 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.harness.cache import CACHE_DIR_ENV, CACHE_STATS, default_disk_cache
 from repro.harness.experiment import ExperimentConfig, run_experiment
-from repro.metrics.report import format_table
+from repro.harness.parallel import run_experiments_parallel
+from repro.metrics.report import format_cache_summary, format_table
 from repro.workloads.registry import WORKLOADS
 
 SYSTEMS = ["linux", "linux514", "fastswap", "infiniswap", "canvas-iso", "canvas"]
@@ -50,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=["linux", "fastswap", "canvas-iso", "canvas"],
         choices=SYSTEMS,
     )
+    compare_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to fan the systems out over "
+        "(default 1 = serial; $REPRO_WORKERS caps the auto default)",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help=f"inspect or clear the ${CACHE_DIR_ENV} result cache"
+    )
+    cache_cmd.add_argument("action", choices=["info", "clear"])
 
     sub.add_parser("list", help="list workloads and system kinds")
     return parser
@@ -117,11 +138,16 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_compare(args) -> int:
+    jobs = [(args.apps, _config(args, system=system)) for system in args.systems]
+    print(
+        f"running {args.apps} on {len(args.systems)} systems "
+        f"({max(1, args.workers)} workers) ...",
+        file=sys.stderr,
+    )
+    results = run_experiments_parallel(jobs, max_workers=max(1, args.workers))
     times = {}
     csv_rows = []
-    for system in args.systems:
-        print(f"running {args.apps} on {system} ...", file=sys.stderr)
-        result = run_experiment(args.apps, _config(args, system=system))
+    for system, result in zip(args.systems, results):
         times[system] = {
             name: result.completion_time(name) / 1000 for name in args.apps
         }
@@ -139,6 +165,25 @@ def _cmd_compare(args) -> int:
     rows = [[system] + [times[system][name] for name in args.apps]
             for system in args.systems]
     print(format_table(["system (ms)"] + args.apps, rows))
+    if CACHE_STATS.total_lookups:
+        print(format_cache_summary(CACHE_STATS), file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = default_disk_cache()
+    if cache is None:
+        print(f"result cache disabled (set ${CACHE_DIR_ENV} to enable)")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.root}")
+        return 0
+    entries = cache.entries()
+    total_bytes = sum(path.stat().st_size for path in entries)
+    print(f"cache dir: {cache.root}")
+    print(f"entries:   {len(entries)}")
+    print(f"size:      {total_bytes / 1024:.1f} KiB")
     return 0
 
 
@@ -160,6 +205,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     return _cmd_list(args)
 
 

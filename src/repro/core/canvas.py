@@ -332,6 +332,7 @@ class CanvasSwapSystem(BaseSwapSystem):
     ) -> Generator:
         """The faulting thread gives up on a late prefetch (§5.3)."""
         app.stats.prefetch_drops += 1
+        self._dec_inflight_prefetch(request.app_name)
         request.entry.valid = False  # in-service copy discards itself
         request.dropped = True  # still-queued copy is skipped
         page.prefetch_timestamp_us = None
@@ -366,6 +367,8 @@ class CanvasSwapSystem(BaseSwapSystem):
         if self._inflight_req.get(page) is not request:
             return  # already superseded by a demand reissue
         del self._inflight_req[page]
+        if request.kind is RequestKind.PREFETCH:
+            self._dec_inflight_prefetch(request.app_name)
         event = self._inflight.pop(page, None)
         if page.in_swap_cache and page.swap_entry is not None:
             cache = self._cache_for(app, page)

@@ -1,5 +1,15 @@
-"""Experiment harness: machine model, thread driver, experiment runner."""
+"""Experiment harness: machine model, thread driver, experiment runner,
+parallel fan-out, and persistent result caching."""
 
+from repro.harness.cache import (
+    CACHE_STATS,
+    CacheStats,
+    DiskResultCache,
+    cached_run,
+    default_disk_cache,
+    job_key,
+    source_fingerprint,
+)
 from repro.harness.driver import app_thread, run_to_completion, spawn_app
 from repro.harness.experiment import (
     AppResult,
@@ -9,6 +19,11 @@ from repro.harness.experiment import (
     run_individual,
 )
 from repro.harness.machine import Machine
+from repro.harness.parallel import (
+    ExperimentJob,
+    default_worker_count,
+    run_experiments_parallel,
+)
 from repro.harness.trace import FaultRecord, FaultTracer, load_trace, replay_streams
 
 __all__ = [
@@ -25,4 +40,14 @@ __all__ = [
     "FaultTracer",
     "load_trace",
     "replay_streams",
+    "CACHE_STATS",
+    "CacheStats",
+    "DiskResultCache",
+    "cached_run",
+    "default_disk_cache",
+    "job_key",
+    "source_fingerprint",
+    "ExperimentJob",
+    "default_worker_count",
+    "run_experiments_parallel",
 ]

@@ -1,0 +1,221 @@
+"""Persistent on-disk cache of experiment results.
+
+Simulated runs are deterministic: the same (workload set, config, source
+tree) triple always produces the same :class:`ExperimentResult`.  This
+module memoizes that function on disk, so repeated benchmark invocations
+— and figures that share co-runs (Figs. 4/5, 10/11/12) — skip
+simulation entirely across processes.
+
+Keys are SHA-256 over three components:
+
+* the workload name tuple,
+* the frozen :class:`ExperimentConfig` (every field, dicts canonicalized),
+* a fingerprint of the ``repro`` source tree, so *any* code change
+  invalidates every cached result.  Caching can therefore never mask a
+  behavioral change — a stale hit is structurally impossible.
+
+The cache lives under ``$REPRO_CACHE_DIR`` (unset ⇒ disabled).  Writes
+are atomic (temp file + rename) so concurrent worker processes can share
+one directory.  Hit/miss/store counters are kept in
+:data:`CACHE_STATS` and surfaced by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "CACHE_STATS",
+    "DiskResultCache",
+    "freeze",
+    "config_key",
+    "job_key",
+    "source_fingerprint",
+    "default_disk_cache",
+    "cached_run",
+]
+
+#: Environment variable selecting the cache directory (unset ⇒ disabled).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bump to invalidate every cached result after a format change.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Counters for one process's cache traffic."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: Wall-clock seconds spent actually simulating (cache misses).
+    simulate_seconds: float = 0.0
+    #: Wall-clock seconds spent loading results from disk.
+    load_seconds: float = 0.0
+
+    @property
+    def total_lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.misses
+
+    def reset(self) -> None:
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.simulate_seconds = 0.0
+        self.load_seconds = 0.0
+
+
+#: Process-global tally, reported by benchmarks and the CLI.
+CACHE_STATS = CacheStats()
+
+
+def freeze(value):
+    """Recursively convert a config value into a hashable, ordered form."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, set, tuple)):
+        return tuple(freeze(v) for v in value)
+    return value
+
+
+def config_key(config) -> tuple:
+    """Every field of an ``ExperimentConfig``, frozen, in declaration order."""
+    return tuple((f.name, freeze(getattr(config, f.name))) for f in fields(config))
+
+
+_FINGERPRINT: Optional[str] = None
+
+
+def source_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package sources (cached per process).
+
+    Any edit to any ``.py`` file under ``src/repro`` changes the
+    fingerprint, invalidating all previously cached results.
+    """
+    global _FINGERPRINT
+    if _FINGERPRINT is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _FINGERPRINT = digest.hexdigest()
+    return _FINGERPRINT
+
+
+def job_key(workload_names: Iterable[str], config) -> str:
+    """Stable hex key for one (workloads, config, source tree) job."""
+    payload = repr(
+        (
+            CACHE_FORMAT_VERSION,
+            tuple(workload_names),
+            config_key(config),
+            source_fingerprint(),
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class DiskResultCache:
+    """Pickled ``ExperimentResult`` snapshots in one flat directory."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Load a cached result, or None.  Corrupt entries are dropped."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # corrupt / truncated / incompatible entry
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+
+    def put(self, key: str, result) -> None:
+        """Atomically store a result so concurrent writers never collide."""
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def entries(self) -> List[Path]:
+        return sorted(self.root.glob("*.pkl"))
+
+    def clear(self) -> int:
+        removed = 0
+        for path in self.entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+
+def default_disk_cache() -> Optional[DiskResultCache]:
+    """The cache selected by ``$REPRO_CACHE_DIR``, or None when unset."""
+    cache_dir = os.environ.get(CACHE_DIR_ENV)
+    if not cache_dir:
+        return None
+    return DiskResultCache(Path(cache_dir))
+
+
+def cached_run(
+    workload_names: List[str], config
+) -> Tuple[object, str]:
+    """Run one experiment through the disk layer.
+
+    Returns ``(result, source)`` where source is ``"disk"`` or
+    ``"simulated"``.  Misses are simulated and stored back (when the
+    cache is enabled); counters in :data:`CACHE_STATS` track both paths.
+    """
+    from repro.harness.experiment import run_experiment
+
+    key = job_key(workload_names, config)
+    disk = default_disk_cache()
+    if disk is not None:
+        start = time.perf_counter()
+        result = disk.get(key)
+        if result is not None:
+            CACHE_STATS.disk_hits += 1
+            CACHE_STATS.load_seconds += time.perf_counter() - start
+            return result, "disk"
+    CACHE_STATS.misses += 1
+    start = time.perf_counter()
+    result = run_experiment(list(workload_names), config)
+    CACHE_STATS.simulate_seconds += time.perf_counter() - start
+    if disk is not None:
+        disk.put(key, result)
+        CACHE_STATS.stores += 1
+    return result, "simulated"

@@ -38,24 +38,29 @@ def app_thread(
     pending_cpu = 0.0
     pages = app.space.pages
     stats = app.stats
+    # Bound methods hoisted out of the loop: this is the single hottest
+    # Python loop in the simulator (one iteration per memory access).
+    note_access = system.note_access
+    handle_fault = system.handle_fault
+    execute = app.cores.execute
     for vpn, write, cpu_us in accesses:
         stats.accesses += 1
         pending_cpu += cpu_us
         page = pages[vpn]
         if page.resident:
-            system.note_access(app, page, write)
+            note_access(app, page, write)
             if pending_cpu >= cpu_flush_us:
-                yield from app.cores.execute(pending_cpu)
+                yield from execute(pending_cpu)
                 pending_cpu = 0.0
         else:
             if pending_cpu > 0.0:
-                yield from app.cores.execute(pending_cpu)
+                yield from execute(pending_cpu)
                 pending_cpu = 0.0
-            yield from system.handle_fault(app, thread_id, vpn, write)
+            yield from handle_fault(app, thread_id, vpn, write)
             if write:
                 page.dirty = True
     if pending_cpu > 0.0:
-        yield from app.cores.execute(pending_cpu)
+        yield from execute(pending_cpu)
 
 
 def run_to_completion(engine, processes, limit_us: float = 60_000_000_000.0) -> float:

@@ -157,6 +157,20 @@ class ExperimentResult:
     def completion_time(self, name: str) -> float:
         return self.results[name].completion_time_us
 
+    # -- pickling ---------------------------------------------------------
+    # A live result references the whole simulated machine (engine heap,
+    # generators), which cannot cross process boundaries.  Pickling swaps
+    # those for portable snapshots (see repro.harness.results); everything
+    # benchmarks/analysis read back survives the round-trip.
+
+    def __getstate__(self) -> dict:
+        from repro.harness.results import snapshot_result_state
+
+        return snapshot_result_state(self)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
 
 def _build_system(
     machine: Machine, config: ExperimentConfig, total_remote_pages: int

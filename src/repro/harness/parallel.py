@@ -1,0 +1,86 @@
+"""Parallel experiment fan-out over a process pool.
+
+Independent ``(workloads, config)`` jobs — different figures' co-runs,
+solo baselines, config sweeps — dominate the benchmark suite's wall
+clock.  Each simulation is single-threaded and deterministic, so fanning
+jobs out over a :class:`~concurrent.futures.ProcessPoolExecutor` cuts
+end-to-end time by roughly the worker count without changing a single
+simulated number: workers run exactly the serial code path and ship back
+a portable :class:`ExperimentResult` snapshot (see
+``repro.harness.results``).
+
+Result ordering is deterministic: ``run_experiments_parallel`` returns
+results in job-submission order regardless of completion order.  Workers
+share the persistent disk cache (``$REPRO_CACHE_DIR``), so a parallel
+prewarm also leaves warm on-disk results behind for later serial runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.harness.experiment import ExperimentConfig, ExperimentResult
+
+__all__ = ["ExperimentJob", "default_worker_count", "run_experiments_parallel"]
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+@dataclass
+class ExperimentJob:
+    """One unit of fan-out: a workload set plus its experiment config."""
+
+    workloads: Tuple[str, ...]
+    config: ExperimentConfig
+
+    @classmethod
+    def of(cls, job: Union["ExperimentJob", Tuple[Iterable[str], ExperimentConfig]]):
+        if isinstance(job, ExperimentJob):
+            return job
+        workloads, config = job
+        return cls(tuple(workloads), config)
+
+
+def default_worker_count() -> int:
+    """``$REPRO_WORKERS`` if set, else the machine's CPU count."""
+    override = os.environ.get(WORKERS_ENV)
+    if override:
+        return max(1, int(override))
+    return os.cpu_count() or 1
+
+
+def _run_job(job: ExperimentJob) -> ExperimentResult:
+    """Worker entry point (module-level so it pickles by reference)."""
+    from repro.harness.cache import cached_run
+
+    result, _source = cached_run(list(job.workloads), job.config)
+    return result
+
+
+def run_experiments_parallel(
+    jobs: Sequence[Union[ExperimentJob, Tuple[Iterable[str], ExperimentConfig]]],
+    max_workers: Optional[int] = None,
+) -> List[ExperimentResult]:
+    """Run independent experiments across processes; results in job order.
+
+    ``max_workers=None`` uses :func:`default_worker_count`;
+    ``max_workers=1`` (or a single job) degrades to the serial in-process
+    path, which also keeps the function usable inside daemonic workers.
+    Every job still goes through the disk cache, so warm entries return
+    without simulating regardless of the execution mode.
+    """
+    normalized = [ExperimentJob.of(job) for job in jobs]
+    if max_workers is None:
+        max_workers = default_worker_count()
+    max_workers = max(1, min(max_workers, len(normalized)))
+    if max_workers == 1 or len(normalized) <= 1:
+        return [_run_job(job) for job in normalized]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        # Executor.map preserves submission order: deterministic results.
+        return list(pool.map(_run_job, normalized))

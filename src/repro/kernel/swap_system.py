@@ -90,6 +90,9 @@ class BaseSwapSystem:
         #: Writebacks in flight per app; kswapd throttles on this so slow
         #: write paths cannot pin every frame in unfinished writebacks.
         self._outstanding_writebacks: Dict[str, int] = {}
+        #: Prefetch reads in flight per app, maintained incrementally so
+        #: the issue path does not rescan every in-flight request.
+        self._inflight_prefetch_count: Dict[str, int] = {}
         #: Observers called as fn(app_name, thread_id, vpn, start_us,
         #: end_us) when a fault finishes (tracing / analysis hooks).
         self.fault_hooks: list = []
@@ -233,10 +236,12 @@ class BaseSwapSystem:
         self, app: AppContext, thread_id: int, vpn: int, write: bool
     ) -> Generator:
         """The §2 fault path.  Yields until the page is mapped."""
+        engine = self.engine
+        stats = app.stats
         page = app.space.page(vpn)
-        app.stats.faults += 1
-        start = self.engine.now
-        yield self.engine.timeout(self.config.fault_overhead_us)
+        stats.faults += 1
+        start = engine.now
+        yield engine.timeout(self.config.fault_overhead_us)
 
         cache = self._cache_for(app, page)
         first_check = True
@@ -245,7 +250,7 @@ class BaseSwapSystem:
             if first_check:
                 cached = cache.lookup(entry) if entry is not None else None
                 if cached is not None:
-                    app.stats.cache_hits += 1
+                    stats.cache_hits += 1
                     if page.prefetched:
                         # A prefetched page only *contributes* if it is
                         # ready (unlocked) when the fault arrives; a late
@@ -255,9 +260,9 @@ class BaseSwapSystem:
                         # arrival-to-use gap feeds the §5.3 timeliness
                         # distribution.
                         if not page.locked:
-                            app.stats.prefetch_cache_hits += 1
+                            stats.prefetch_cache_hits += 1
                             self.telemetry.timeliness_hist(app.name).record(
-                                self.engine.now - page.prefetched_at_us
+                                engine.now - page.prefetched_at_us
                             )
                             page.prefetched = False
                         # swap_ra hit: the *prediction* was right either
@@ -283,7 +288,7 @@ class BaseSwapSystem:
                 # flight: the data is local either way, so map it back in
                 # (the write completes harmlessly; Linux reuses swap-cache
                 # pages under writeback the same way).
-                yield self.engine.timeout(self.config.map_in_cost_us)
+                yield engine.timeout(self.config.map_in_cost_us)
                 if page.resident:
                     break  # another waiter mapped it during the timeout
                 if not page.in_swap_cache:
@@ -300,7 +305,7 @@ class BaseSwapSystem:
                     continue
                 self._map_in(app, page, write)
                 if rescuing:
-                    app.stats.writeback_rescues += 1
+                    stats.writeback_rescues += 1
                     # Detach the in-flight writeback from the page so a
                     # later re-eviction can track its own I/O; its
                     # completion sees itself superseded and does nothing.
@@ -313,17 +318,17 @@ class BaseSwapSystem:
             event = self._inflight.get(page)
             if event is not None:
                 if page.prefetched:
-                    app.stats.blocked_on_prefetch += 1
+                    stats.blocked_on_prefetch += 1
                 yield from self._wait_inflight(app, page, thread_id, event)
                 continue  # re-evaluate: mapped by writeback drop, cached, ...
 
             # Demand swap-in.
-            app.stats.demand_swapins += 1
+            stats.demand_swapins += 1
             if entry is None:
                 raise RuntimeError(
                     f"{app.name}: vpn {vpn:#x} non-resident without swap entry"
                 )
-            event = self.engine.event(f"read.{app.name}.{vpn:#x}")
+            event = engine.event(f"read.{app.name}.{vpn:#x}")
             self._inflight[page] = event
             page.locked = True
             yield from self._charge_frames(app, 1, thread_id)
@@ -334,7 +339,7 @@ class BaseSwapSystem:
                 app.name,
                 entry,
                 page,
-                completion=self.engine.event(),
+                completion=engine.event(),
             )
             self._inflight_req[page] = request
             request.completion.add_callback(
@@ -348,9 +353,9 @@ class BaseSwapSystem:
             yield from self._wait_inflight(app, page, thread_id, event)
             # Loop: the completion unlocked the page; next pass maps it.
 
-        app.stats.fault_stall_us += self.engine.now - start
+        stats.fault_stall_us += engine.now - start
         for hook in self.fault_hooks:
-            hook(app.name, thread_id, vpn, start, self.engine.now)
+            hook(app.name, thread_id, vpn, start, engine.now)
 
     def _map_in(self, app: AppContext, page: Page, write: bool) -> None:
         """Move a swap-cache page into the process address space."""
@@ -378,6 +383,7 @@ class BaseSwapSystem:
         del self._inflight_req[page]
         page.locked = False
         if request.kind is RequestKind.PREFETCH:
+            self._dec_inflight_prefetch(request.app_name)
             page.prefetched_at_us = self.engine.now
             page.prefetch_timestamp_us = None
             request.entry.timestamp_us = None
@@ -464,15 +470,20 @@ class BaseSwapSystem:
             issued += 1
             budget -= 1
             app.stats.prefetches_issued += 1
+            self._inflight_prefetch_count[app.name] = (
+                self._inflight_prefetch_count.get(app.name, 0) + 1
+            )
         self._shrink_cache_if_needed(app)
         return issued
 
     def _inflight_prefetches(self, app: AppContext) -> int:
-        return sum(
-            1
-            for page, req in self._inflight_req.items()
-            if req.kind is RequestKind.PREFETCH and req.app_name == app.name
-        )
+        return self._inflight_prefetch_count.get(app.name, 0)
+
+    def _dec_inflight_prefetch(self, app_name: str) -> None:
+        """One in-flight prefetch left the system (completed or dropped)."""
+        count = self._inflight_prefetch_count.get(app_name, 0)
+        if count > 0:
+            self._inflight_prefetch_count[app_name] = count - 1
 
     # ------------------------------------------------------------------
     # Reclaim

@@ -6,14 +6,22 @@ from repro.metrics.collectors import (
     RateMeter,
     weighted_min_max_ratio,
 )
-from repro.metrics.report import format_cdf, format_series, format_table
+from repro.metrics.report import (
+    format_cache_summary,
+    format_cdf,
+    format_run_log,
+    format_series,
+    format_table,
+)
 
 __all__ = [
     "BandwidthMeter",
     "Histogram",
     "RateMeter",
     "weighted_min_max_ratio",
+    "format_cache_summary",
     "format_cdf",
+    "format_run_log",
     "format_series",
     "format_table",
 ]

@@ -8,7 +8,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["format_table", "format_series", "format_cdf"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_cdf",
+    "format_cache_summary",
+    "format_run_log",
+]
 
 
 def _fmt(value) -> str:
@@ -60,3 +66,24 @@ def format_cdf(title: str, percentiles: Dict[str, Dict[str, float]]) -> str:
         row = [name] + [percentiles[name][k] for k in headers[1:]]
         rows.append(row)
     return title + "\n" + format_table(headers, rows)
+
+
+def format_cache_summary(stats) -> str:
+    """One-line report of a :class:`~repro.harness.cache.CacheStats` tally.
+
+    Printed by the benchmark harness and CLI so cache effectiveness (and
+    therefore the win from ``$REPRO_CACHE_DIR``) is visible in logs.
+    """
+    return (
+        f"experiment cache: {stats.memory_hits} memory hits, "
+        f"{stats.disk_hits} disk hits, {stats.misses} misses, "
+        f"{stats.stores} stored; "
+        f"{stats.simulate_seconds:.2f}s simulating, "
+        f"{stats.load_seconds:.2f}s loading"
+    )
+
+
+def format_run_log(entries: Sequence[Tuple[str, str, float]]) -> str:
+    """Per-job wall-clock table: (label, source, seconds) triples."""
+    rows = [[label, source, f"{seconds:.3f}"] for label, source, seconds in entries]
+    return format_table(["job", "source", "wall (s)"], rows)

@@ -25,6 +25,8 @@ Example
 from __future__ import annotations
 
 import heapq
+from collections import deque
+from functools import partial
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -86,7 +88,7 @@ class Event:
             raise SimulationError(f"event {self.name!r} fired twice")
         self._fired = True
         self._value = value
-        self.engine._schedule_call(0.0, self._dispatch)
+        self.engine._immediate.append(self._dispatch)
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -95,13 +97,14 @@ class Event:
             raise SimulationError(f"event {self.name!r} fired twice")
         self._fired = True
         self._exc = exc
-        self.engine._schedule_call(0.0, self._dispatch)
+        self.engine._immediate.append(self._dispatch)
         return self
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self._fired:
-            # Late subscription: deliver on the next engine step.
-            self.engine._schedule_call(0.0, lambda: callback(self))
+            # Late subscription: deliver on the next engine step (FIFO
+            # with everything else queued at the current time).
+            self.engine._immediate.append(partial(callback, self))
         else:
             self._callbacks.append(callback)
 
@@ -144,7 +147,10 @@ class Process(Event):
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         self._interrupt_pending: Optional[Interrupt] = None
-        engine._schedule_call(0.0, lambda: self._resume(None, None))
+        engine._immediate.append(self._start)
+
+    def _start(self) -> None:
+        self._step(None, None)
 
     @property
     def alive(self) -> bool:
@@ -160,33 +166,29 @@ class Process(Event):
         self._waiting_on = None
         # The stale wakeup from `waiting` is ignored via the _waiting_on check.
         del waiting
-        self.engine._schedule_call(0.0, self._deliver_interrupt)
+        self.engine._immediate.append(self._deliver_interrupt)
 
     def _deliver_interrupt(self) -> None:
         interrupt, self._interrupt_pending = self._interrupt_pending, None
         if interrupt is None or self._fired:
             return
-        self._step(lambda: self.generator.throw(interrupt))
+        self._step(None, interrupt)
 
     def _on_event(self, event: Event) -> None:
         if self._waiting_on is not event:
             return  # stale wakeup (e.g. interrupted while waiting)
         self._waiting_on = None
         if event._exc is not None:
-            exc = event._exc
-            self._step(lambda: self.generator.throw(exc))
+            self._step(None, event._exc)
         else:
-            self._resume(event._value, None)
+            self._step(event._value, None)
 
-    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
-        if exc is not None:
-            self._step(lambda: self.generator.throw(exc))
-        else:
-            self._step(lambda: self.generator.send(value))
-
-    def _step(self, advance: Callable[[], Any]) -> None:
+    def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         try:
-            target = advance()
+            if exc is None:
+                target = self.generator.send(value)
+            else:
+                target = self.generator.throw(exc)
         except StopIteration as stop:
             self._fired = True
             self._value = stop.value
@@ -258,11 +260,22 @@ class AnyOf(Event):
 
 
 class Engine:
-    """The event loop: a clock plus a heap of scheduled callbacks."""
+    """The event loop: a clock plus a heap of scheduled callbacks.
+
+    Zero-delay work (event firings, process starts/resumes, late callback
+    subscriptions) dominates the swap simulation's event count, so it takes
+    a fast lane: a plain FIFO deque (``_immediate``) instead of the heap.
+    Ordering is exactly what the single heap produced, because an entry in
+    the heap timestamped *now* was necessarily scheduled earlier (it needed
+    a positive delay to land at the current time) and therefore precedes —
+    in FIFO sequence — anything appended to the deque at the current time.
+    The dispatch rule in :meth:`_run_core` encodes that invariant.
+    """
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._immediate: deque[Callable[[], None]] = deque()
         self._seq = 0
         self._running = False
         self._step_count = 0
@@ -270,6 +283,9 @@ class Engine:
     # -- scheduling ------------------------------------------------------
 
     def _schedule_call(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay == 0.0:
+            self._immediate.append(callback)
+            return
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, callback))
 
@@ -305,36 +321,72 @@ class Engine:
 
     # -- execution ---------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> float:
-        """Drain the event heap.
+    def _run_core(
+        self,
+        until: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        stop_event: Optional[Event] = None,
+        limit: Optional[float] = None,
+    ) -> None:
+        """The one stepping loop behind :meth:`run` and :meth:`run_until_fired`.
 
-        Stops when the heap is empty, when the next event lies beyond
-        ``until`` (the clock is then advanced exactly to ``until``), or
-        after ``max_steps`` dispatched callbacks.  Returns the final clock.
+        Dispatch order per iteration: heap entries timestamped *now* (they
+        were scheduled before anything currently in the immediate deque),
+        then the immediate deque FIFO, then the heap entry that advances
+        the clock.  ``until`` bounds the clock (reached exactly on exit);
+        ``limit`` raises instead of advancing past it; ``stop_event``
+        stops as soon as the event has fired.
         """
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
+        steps = 0
+        heap = self._heap
+        immediate = self._immediate
+        pop = heapq.heappop
+        popleft = immediate.popleft
         try:
-            steps = 0
-            heap = self._heap
-            while heap:
-                when, _seq, callback = heap[0]
-                if until is not None and when > until:
-                    self.now = until
-                    return self.now
-                heapq.heappop(heap)
-                self.now = when
+            while True:
+                if stop_event is not None and stop_event._fired:
+                    break
+                if heap:
+                    when = heap[0][0]
+                    if when <= self.now:
+                        callback = pop(heap)[2]
+                    elif immediate:
+                        callback = popleft()
+                    else:
+                        if until is not None and when > until:
+                            break
+                        if limit is not None and when > limit:
+                            raise SimulationError(
+                                f"event did not fire before t={limit}"
+                            )
+                        self.now = when
+                        callback = pop(heap)[2]
+                elif immediate:
+                    callback = popleft()
+                else:
+                    break
                 callback()
                 steps += 1
                 if max_steps is not None and steps >= max_steps:
                     break
-            self._step_count += steps
             if until is not None and self.now < until:
                 self.now = until
-            return self.now
         finally:
+            self._step_count += steps
             self._running = False
+
+    def run(self, until: Optional[float] = None, max_steps: Optional[int] = None) -> float:
+        """Drain the scheduled work.
+
+        Stops when nothing is pending, when the next event lies beyond
+        ``until`` (the clock is then advanced exactly to ``until``), or
+        after ``max_steps`` dispatched callbacks.  Returns the final clock.
+        """
+        self._run_core(until=until, max_steps=max_steps)
+        return self.now
 
     def run_until_fired(self, event: Event, limit: Optional[float] = None) -> Any:
         """Run until ``event`` fires; returns its value.
@@ -342,18 +394,18 @@ class Engine:
         ``limit`` bounds the simulated time as a safety net; exceeding it
         raises :class:`SimulationError`.
         """
-        while not event.fired:
-            if not self._heap:
-                raise SimulationError("event can never fire: heap is empty")
-            if limit is not None and self._heap[0][0] > limit:
-                raise SimulationError(f"event did not fire before t={limit}")
-            when, _seq, callback = heapq.heappop(self._heap)
-            self.now = when
-            callback()
+        self._run_core(stop_event=event, limit=limit)
+        if not event._fired:
+            raise SimulationError("event can never fire: heap is empty")
         if event._exc is not None:
             raise event._exc
         return event._value
 
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        return len(self._heap) + len(self._immediate)
+
+    @property
+    def step_count(self) -> int:
+        """Total callbacks dispatched across all run calls."""
+        return self._step_count

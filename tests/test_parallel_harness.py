@@ -1,0 +1,182 @@
+"""Tests for the parallel fan-out, result snapshots, and the disk cache.
+
+The contract under test: neither pickling, nor the process pool, nor the
+persistent cache may change a single simulated number.  A result that
+crossed a process boundary or a disk round-trip must read back exactly
+like the live one.
+"""
+
+import pickle
+
+import pytest
+
+from repro.harness import (
+    CACHE_STATS,
+    ExperimentConfig,
+    ExperimentJob,
+    cached_run,
+    default_disk_cache,
+    default_worker_count,
+    job_key,
+    run_experiment,
+    run_experiments_parallel,
+)
+
+GROUP = ["snappy", "memcached"]
+
+
+def tiny(system="linux", **kwargs):
+    return ExperimentConfig(system=system, scale=0.05, **kwargs)
+
+
+def assert_same_result(a, b):
+    """Every number a benchmark reads back must match exactly."""
+    assert set(a.apps) == set(b.apps)
+    for name in a.apps:
+        assert a.completion_time(name) == b.completion_time(name)
+        sa, sb = a.apps[name].stats, b.apps[name].stats
+        assert sa.faults == sb.faults
+        assert sa.swapouts == sb.swapouts
+        assert sa.clean_drops == sb.clean_drops
+        assert sa.fault_stall_us == sb.fault_stall_us
+        assert sa.prefetches_issued == sb.prefetches_issued
+    assert a.elapsed_us == b.elapsed_us
+
+
+# -- determinism: serial vs parallel ------------------------------------
+
+
+def test_parallel_matches_serial_results():
+    jobs = [
+        (GROUP, tiny("linux")),
+        (GROUP, tiny("fastswap")),
+        (GROUP, tiny("canvas")),
+    ]
+    serial = [run_experiment(list(w), c) for w, c in jobs]
+    parallel = run_experiments_parallel(jobs, max_workers=2)
+    assert len(parallel) == len(serial)
+    for live, shipped in zip(serial, parallel):
+        assert_same_result(live, shipped)
+
+
+def test_parallel_preserves_job_order():
+    jobs = [(["snappy"], tiny()), (["memcached"], tiny())]
+    results = run_experiments_parallel(jobs, max_workers=2)
+    assert set(results[0].apps) == {"snappy"}
+    assert set(results[1].apps) == {"memcached"}
+
+
+def test_serial_fallback_single_worker():
+    results = run_experiments_parallel([(GROUP, tiny())], max_workers=1)
+    assert len(results) == 1
+    assert results[0].completion_time("snappy") > 0
+
+
+def test_experiment_job_normalization():
+    job = ExperimentJob.of((["a", "b"], tiny()))
+    assert job.workloads == ("a", "b")
+    assert ExperimentJob.of(job) is job
+
+
+def test_default_worker_count_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert default_worker_count() == 3
+    monkeypatch.setenv("REPRO_WORKERS", "0")
+    assert default_worker_count() == 1
+
+
+# -- result snapshots ----------------------------------------------------
+
+
+def test_pickle_round_trip_preserves_numbers():
+    live = run_experiment(GROUP, tiny("canvas"))
+    shipped = pickle.loads(pickle.dumps(live))
+    assert_same_result(live, shipped)
+    # The machine (engine heap, generators) is deliberately dropped.
+    assert shipped.machine is None
+    # Identity between the two stats views survives via the pickle memo.
+    for name in GROUP:
+        assert shipped.apps[name].stats is shipped.results[name].stats
+
+
+def test_pickle_round_trip_is_idempotent():
+    shipped = pickle.loads(pickle.dumps(run_experiment(GROUP, tiny())))
+    again = pickle.loads(pickle.dumps(shipped))
+    assert_same_result(shipped, again)
+
+
+def test_snapshot_keeps_system_introspection():
+    live = run_experiment(GROUP, tiny("canvas"))
+    shipped = pickle.loads(pickle.dumps(live))
+    for name in GROUP:
+        assert shipped.system.adaptive_stats(name) == live.system.adaptive_stats(name)
+    assert (
+        shipped.system.scheduler.stats.prefetches_dropped
+        == live.system.scheduler.stats.prefetches_dropped
+    )
+
+
+# -- persistent disk cache ----------------------------------------------
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    CACHE_STATS.reset()
+    yield tmp_path / "cache"
+    CACHE_STATS.reset()
+
+
+def test_cache_disabled_without_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert default_disk_cache() is None
+    result, source = cached_run(["snappy"], tiny())
+    assert source == "simulated"
+    assert result.completion_time("snappy") > 0
+
+
+def test_cache_miss_then_hit(cache_dir):
+    cold, source = cached_run(GROUP, tiny())
+    assert source == "simulated"
+    assert CACHE_STATS.misses == 1 and CACHE_STATS.stores == 1
+    warm, source = cached_run(GROUP, tiny())
+    assert source == "disk"
+    assert CACHE_STATS.disk_hits == 1
+    assert_same_result(cold, warm)
+
+
+def test_cache_key_sensitive_to_config_and_workloads(cache_dir):
+    base = job_key(GROUP, tiny())
+    assert base == job_key(GROUP, tiny()), "key must be stable"
+    assert base != job_key(GROUP, tiny(seed=1))
+    assert base != job_key(GROUP, tiny("canvas"))
+    assert base != job_key(list(reversed(GROUP)), tiny())
+    assert base != job_key(["snappy"], tiny())
+
+
+def test_cache_drops_corrupt_entries(cache_dir):
+    cached_run(["snappy"], tiny())
+    cache = default_disk_cache()
+    (entry,) = cache.entries()
+    entry.write_bytes(b"not a pickle")
+    result, source = cached_run(["snappy"], tiny())
+    assert source == "simulated"
+    assert result.completion_time("snappy") > 0
+
+
+def test_cache_clear(cache_dir):
+    cached_run(["snappy"], tiny())
+    cache = default_disk_cache()
+    assert len(cache.entries()) == 1
+    assert cache.clear() == 1
+    assert cache.entries() == []
+
+
+def test_parallel_workers_share_disk_cache(cache_dir):
+    jobs = [(["snappy"], tiny()), (["memcached"], tiny())]
+    run_experiments_parallel(jobs, max_workers=2)
+    # Workers stored their results; this process now hits disk only.
+    CACHE_STATS.reset()
+    warm = run_experiments_parallel(jobs, max_workers=1)
+    assert CACHE_STATS.disk_hits == 2 and CACHE_STATS.misses == 0
+    assert warm[0].completion_time("snappy") > 0

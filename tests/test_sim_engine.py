@@ -292,3 +292,124 @@ def test_pending_events_counts_heap():
     assert eng.pending_events == 1
     eng.run()
     assert eng.pending_events == 0
+
+
+def test_pending_events_counts_immediate_lane():
+    eng = Engine()
+    evt = eng.event()
+    evt.succeed()  # queues the dispatch on the zero-delay lane
+    assert eng.pending_events == 1
+    eng.run()
+    assert eng.pending_events == 0
+
+
+def test_run_rejects_reentrancy():
+    eng = Engine()
+    errors = []
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        try:
+            eng.run()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    eng.spawn(proc(eng))
+    eng.run()
+    assert errors == ["engine is already running"]
+
+
+def test_run_until_fired_rejects_reentrancy():
+    eng = Engine()
+    errors = []
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        try:
+            eng.run_until_fired(eng.event())
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    eng.spawn(proc(eng))
+    eng.run()
+    assert errors == ["engine is already running"]
+
+
+def test_run_until_fired_counts_steps():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(1.0)
+        yield eng.timeout(1.0)
+        return "fin"
+
+    handle = eng.spawn(proc(eng))
+    before = eng.step_count
+    assert eng.run_until_fired(handle) == "fin"
+    assert eng.step_count > before
+
+
+def test_zero_delay_events_keep_fifo_order():
+    eng = Engine()
+    order = []
+
+    def waiter(eng, name, evt):
+        yield evt
+        order.append(name)
+
+    events = [eng.event() for _ in range(4)]
+    for i, evt in enumerate(events):
+        eng.spawn(waiter(eng, i, evt))
+
+    def trigger(eng):
+        yield eng.timeout(1.0)
+        for evt in events:
+            evt.succeed()
+
+    eng.spawn(trigger(eng))
+    eng.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_heap_entries_at_now_precede_immediate_lane():
+    # A timer scheduled from t=0 to land at t=1 was scheduled *before*
+    # anything that gets queued with zero delay once t=1 is reached, so
+    # it must dispatch first — same order the single-heap engine gave.
+    eng = Engine()
+    order = []
+    wake = eng.event()
+
+    def first(eng):
+        yield eng.timeout(1.0)
+        order.append("first")
+        wake.succeed()  # zero-delay: queued behind the t=1 timer below
+
+    def second(eng):
+        yield eng.timeout(1.0)
+        order.append("second")
+
+    def waiter(eng):
+        yield wake
+        order.append("waiter")
+
+    eng.spawn(first(eng))
+    eng.spawn(second(eng))
+    eng.spawn(waiter(eng))
+    eng.run()
+    assert order == ["first", "second", "waiter"]
+
+
+def test_zero_delay_resume_does_not_advance_clock():
+    eng = Engine()
+    times = []
+
+    def proc(eng):
+        yield eng.timeout(1.5)
+        evt = eng.event()
+        evt.succeed()
+        yield evt
+        times.append(eng.now)
+
+    eng.spawn(proc(eng))
+    eng.run()
+    assert times == [1.5]
