@@ -35,6 +35,19 @@ from repro.harness.parallel import default_worker_count, run_experiments_paralle
 #: Scale knob for all benchmarks (working sets & access counts).
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 
+#: ``REPRO_PROFILE=1`` attaches one shared simulation profiler to every
+#: experiment a benchmark session runs and prints the per-subsystem
+#: wall-clock attribution in the terminal summary.  Profiled runs bypass
+#: the caches and the parallel prewarm (a cache hit or a worker process
+#: would leave nothing to measure); simulated results are unchanged.
+PROFILE = os.environ.get("REPRO_PROFILE", "") not in ("", "0")
+
+PROFILER = None
+if PROFILE:
+    from repro.metrics.profiler import SimProfiler
+
+    PROFILER = SimProfiler()
+
 NATIVES = ["snappy", "memcached", "xgboost"]
 #: The four managed applications Fig. 10/11/12 pair with the natives.
 MANAGED_FOUR = ["spark_lr", "spark_km", "cassandra", "neo4j"]
@@ -73,7 +86,12 @@ def run_cached(workloads: Iterable[str], config: ExperimentConfig) -> Experiment
         CACHE_STATS.memory_hits += 1
         return result
     start = time.perf_counter()
-    result, source = cached_run(workloads, config)
+    if PROFILER is not None:
+        from repro.harness.experiment import run_experiment
+
+        result, source = run_experiment(workloads, config, profiler=PROFILER), "profiled"
+    else:
+        result, source = cached_run(workloads, config)
     RUN_LOG.append((_label(workloads, config), source, time.perf_counter() - start))
     _CACHE[key] = result
     return result
@@ -91,6 +109,10 @@ def prewarm(
     still consult the disk cache, so a warm ``$REPRO_CACHE_DIR`` makes
     this near-instant).  Returns the number of jobs actually executed.
     """
+    if PROFILER is not None:
+        # Worker processes cannot feed the in-process profiler; let the
+        # serial run_cached calls simulate (and profile) every job.
+        return 0
     unique: Dict[str, Tuple[List[str], ExperimentConfig]] = {}
     for workloads, config in jobs:
         workloads = list(workloads)

@@ -23,9 +23,11 @@ def pytest_terminal_summary(terminalreporter):
 
     import _common
 
-    if CACHE_STATS.total_lookups == 0 and not _common.RUN_LOG:
-        return
-    terminalreporter.section("experiment cache")
-    terminalreporter.write_line(format_cache_summary(CACHE_STATS))
-    if _common.RUN_LOG:
-        terminalreporter.write_line(format_run_log(_common.RUN_LOG))
+    if CACHE_STATS.total_lookups or _common.RUN_LOG:
+        terminalreporter.section("experiment cache")
+        terminalreporter.write_line(format_cache_summary(CACHE_STATS))
+        if _common.RUN_LOG:
+            terminalreporter.write_line(format_run_log(_common.RUN_LOG))
+    if _common.PROFILER is not None and _common.PROFILER.runs:
+        terminalreporter.section("simulation profile (REPRO_PROFILE)")
+        terminalreporter.write_line(_common.PROFILER.format())

@@ -1,0 +1,107 @@
+"""Access throughput: simulated accesses per second through the driver.
+
+Not a paper figure — a harness micro-benchmark guarding the resident
+fast path (PR 2).  Two configurations bracket what experiments pay per
+simulated memory access:
+
+* **resident-heavy co-run** — memcached + neo4j with local memory
+  larger than the working set, so (almost) every access takes the fast
+  path.  Measured twice, with batched streams and with the scalar
+  protocol, to show the batched/unbatched wall-clock ratio on the same
+  bit-identical simulation.
+* **fault-path co-run** — the same pair under memory pressure, where
+  throughput is bounded by the event-driven slow path (faults, RDMA,
+  reclaim) that batching deliberately leaves untouched.
+
+Numbers are recorded in ``benchmark.extra_info`` (and the CI workflow
+uploads the JSON as an artifact).  The assertion floor is deliberately
+below the typical ~2x batched speedup to stay robust on noisy runners.
+"""
+
+from _common import print_header
+from repro.harness import ExperimentConfig, result_digest, run_experiment
+
+PAIR = ["memcached", "neo4j"]
+
+#: Representative resident-heavy co-run: full-size working sets, local
+#: memory above the working set, CPU charged in 800µs slices so runs of
+#: resident accesses between engine events are long (the regime the
+#: fast path targets; the simulated results are identical either way).
+RESIDENT_OVERRIDES = {
+    "memcached": {"accesses_per_thread": 120_000},
+    "neo4j": {"accesses_per_thread": 78_000},
+}
+
+
+def resident_config(batched: bool) -> ExperimentConfig:
+    return ExperimentConfig(
+        system="canvas",
+        scale=1.0,
+        local_memory_fraction=1.4,
+        cpu_flush_us=800.0,
+        batched_streams=batched,
+        workload_overrides=RESIDENT_OVERRIDES,
+    )
+
+
+def fault_config(batched: bool = True) -> ExperimentConfig:
+    return ExperimentConfig(
+        system="canvas",
+        scale=0.25,
+        local_memory_fraction=0.25,
+        batched_streams=batched,
+    )
+
+
+def run_accesses(config) -> int:
+    result = run_experiment(PAIR, config)
+    return sum(result.results[name].stats.accesses for name in PAIR)
+
+
+def _report(benchmark, label, accesses):
+    seconds = benchmark.stats.stats.min
+    rate = accesses / seconds
+    benchmark.extra_info["accesses"] = accesses
+    benchmark.extra_info["accesses_per_second"] = rate
+    print_header(f"access throughput: {label}")
+    print(f"{accesses} accesses in {seconds:.3f}s -> {rate / 1e3:.0f}k accesses/s")
+    return rate
+
+
+def test_resident_fast_path_batched_vs_scalar(benchmark):
+    """The tentpole number: batched vs scalar on the same co-run."""
+    accesses = benchmark.pedantic(
+        lambda: run_accesses(resident_config(batched=True)), rounds=3, iterations=1
+    )
+    _report(benchmark, "resident-heavy co-run (batched)", accesses)
+
+    scalar_seconds = min(
+        _timed(run_accesses, resident_config(batched=False)) for _ in range(3)
+    )
+    scalar_rate = accesses / scalar_seconds
+    speedup = scalar_seconds / benchmark.stats.stats.min
+    benchmark.extra_info["scalar_accesses_per_second"] = scalar_rate
+    benchmark.extra_info["batched_speedup"] = speedup
+    print(
+        f"scalar: {accesses} accesses in {scalar_seconds:.3f}s "
+        f"-> {scalar_rate / 1e3:.0f}k accesses/s (batched speedup {speedup:.2f}x)"
+    )
+    assert result_digest(run_experiment(PAIR, resident_config(True))) == result_digest(
+        run_experiment(PAIR, resident_config(False))
+    ), "batched and scalar protocols diverged"
+    assert speedup > 1.3, f"fast path regressed: batched only {speedup:.2f}x scalar"
+
+
+def test_fault_path_throughput(benchmark):
+    accesses = benchmark.pedantic(
+        lambda: run_accesses(fault_config()), rounds=3, iterations=1
+    )
+    _report(benchmark, "fault-path co-run (under memory pressure)", accesses)
+
+
+def _timed(fn, *args) -> float:
+    import time
+
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start

@@ -11,6 +11,10 @@ worker process per system::
 
     canvas-sim compare --apps snappy memcached xgboost spark_lr --workers 4
 
+Attribute the simulator's own wall-clock time to subsystems::
+
+    canvas-sim profile --system canvas --apps memcached neo4j
+
 Inspect or clear the persistent result cache (``$REPRO_CACHE_DIR``)::
 
     canvas-sim cache info
@@ -29,7 +33,7 @@ from typing import List, Optional
 
 from repro.harness.cache import CACHE_DIR_ENV, CACHE_STATS, default_disk_cache
 from repro.harness.experiment import ExperimentConfig, run_experiment
-from repro.harness.parallel import run_experiments_parallel
+from repro.harness.parallel import default_worker_count, run_experiments_parallel
 from repro.metrics.report import format_cache_summary, format_table
 from repro.workloads.registry import WORKLOADS
 
@@ -61,10 +65,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="worker processes to fan the systems out over "
-        "(default 1 = serial; $REPRO_WORKERS caps the auto default)",
+        help="worker processes to fan the systems out over; default is "
+        "the machine's CPU count ($REPRO_WORKERS overrides the "
+        "default, 1 = serial)",
+    )
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="run one experiment with the simulation profiler and print "
+        "per-subsystem wall-clock attribution",
+    )
+    _add_common(profile_cmd)
+    profile_cmd.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="profile the scalar (unbatched) stream protocol instead of "
+        "the batched fast path",
+    )
+    profile_cmd.add_argument(
+        "--flush-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="CPU-charge granularity in simulated µs (default 25)",
     )
 
     cache_cmd = sub.add_parser(
@@ -139,12 +164,15 @@ def _cmd_run(args) -> int:
 
 def _cmd_compare(args) -> int:
     jobs = [(args.apps, _config(args, system=system)) for system in args.systems]
+    workers = (
+        default_worker_count() if args.workers is None else max(1, args.workers)
+    )
     print(
         f"running {args.apps} on {len(args.systems)} systems "
-        f"({max(1, args.workers)} workers) ...",
+        f"({workers} workers) ...",
         file=sys.stderr,
     )
-    results = run_experiments_parallel(jobs, max_workers=max(1, args.workers))
+    results = run_experiments_parallel(jobs, max_workers=workers)
     times = {}
     csv_rows = []
     for system, result in zip(args.systems, results):
@@ -167,6 +195,27 @@ def _cmd_compare(args) -> int:
     print(format_table(["system (ms)"] + args.apps, rows))
     if CACHE_STATS.total_lookups:
         print(format_cache_summary(CACHE_STATS), file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.metrics.profiler import SimProfiler
+
+    config = _config(args)
+    config.batched_streams = not args.no_batch
+    if args.flush_us is not None:
+        config.cpu_flush_us = args.flush_us
+    profiler = SimProfiler()
+    result = run_experiment(args.apps, config, profiler=profiler)
+    mode = "scalar" if args.no_batch else "batched"
+    print(f"profile: {args.system} / {', '.join(args.apps)} ({mode} streams)")
+    print(profiler.format())
+    rows = [
+        [name, result.completion_time(name) / 1000, result.results[name].stats.faults]
+        for name in args.apps
+    ]
+    print()
+    print(format_table(["app", "time (ms)", "faults"], rows))
     return 0
 
 
@@ -205,6 +254,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_list(args)

@@ -24,6 +24,7 @@ from repro.harness.parallel import (
     default_worker_count,
     run_experiments_parallel,
 )
+from repro.harness.results import result_digest
 from repro.harness.trace import FaultRecord, FaultTracer, load_trace, replay_streams
 
 __all__ = [
@@ -50,4 +51,5 @@ __all__ = [
     "ExperimentJob",
     "default_worker_count",
     "run_experiments_parallel",
+    "result_digest",
 ]

@@ -7,6 +7,17 @@ core set) and full fault handling through the swap system otherwise.
 Faulting threads release their core while blocked on I/O — the simulated
 equivalent of the kernel scheduling another runnable thread during a
 swap-in.
+
+Two drivers share the same semantics:
+
+* :func:`app_thread` — scalar protocol, one generator round-trip per
+  access (compatibility path, ``ExperimentConfig.batched_streams=False``);
+* :func:`app_thread_batched` — consumes
+  :class:`~repro.workloads.batch.AccessBatch` chunks through
+  ``BaseSwapSystem.consume_batch``, which classifies and retires whole
+  runs of resident accesses per call.  Yield sequences (and therefore
+  all simulated timestamps and statistics) are bit-identical between
+  the two.
 """
 
 from __future__ import annotations
@@ -14,9 +25,13 @@ from __future__ import annotations
 from typing import Generator, Iterable, Iterator, Tuple
 
 from repro.kernel.cgroup import AppContext
-from repro.kernel.swap_system import BaseSwapSystem
+from repro.kernel.swap_system import (
+    BATCH_FAULT,
+    BATCH_FLUSH,
+    BaseSwapSystem,
+)
 
-__all__ = ["Access", "app_thread", "spawn_app"]
+__all__ = ["Access", "app_thread", "app_thread_batched", "spawn_app"]
 
 #: (vpn, is_write, cpu_us) — one memory access and its attached compute.
 Access = Tuple[int, bool, float]
@@ -28,6 +43,7 @@ def app_thread(
     thread_id: int,
     accesses: Iterable[Access],
     cpu_flush_us: float = 25.0,
+    profiler=None,
 ) -> Generator:
     """Run one application thread's access stream to completion.
 
@@ -39,10 +55,13 @@ def app_thread(
     pages = app.space.pages
     stats = app.stats
     # Bound methods hoisted out of the loop: this is the single hottest
-    # Python loop in the simulator (one iteration per memory access).
+    # Python loop in the unbatched simulator (one iteration per access).
     note_access = system.note_access
     handle_fault = system.handle_fault
     execute = app.cores.execute
+    if profiler is not None:
+        accesses = profiler.timed_iter("stream_gen", iter(accesses))
+        handle_fault = profiler.timed_generator_fn("fault_path", handle_fault)
     for vpn, write, cpu_us in accesses:
         stats.accesses += 1
         pending_cpu += cpu_us
@@ -59,6 +78,57 @@ def app_thread(
             yield from handle_fault(app, thread_id, vpn, write)
             if write:
                 page.dirty = True
+    if pending_cpu > 0.0:
+        yield from execute(pending_cpu)
+
+
+def app_thread_batched(
+    system: BaseSwapSystem,
+    app: AppContext,
+    thread_id: int,
+    batches,
+    cpu_flush_us: float = 25.0,
+    profiler=None,
+) -> Generator:
+    """Batched twin of :func:`app_thread`.
+
+    ``consume_batch`` retires runs of resident accesses in one call; the
+    driver only surfaces at flush boundaries, faults, and batch ends —
+    performing exactly the yields the scalar driver would.
+    """
+    pending_cpu = 0.0
+    pages = app.space.pages
+    handle_fault = system.handle_fault
+    execute = app.cores.execute
+    if profiler is None:
+        consume = system.consume_batch
+    else:
+        batches = profiler.timed_iter("stream_gen", iter(batches))
+        handle_fault = profiler.timed_generator_fn("fault_path", handle_fault)
+
+        def consume(app, batch, i, pending, flush):
+            return system.consume_batch_profiled(
+                app, batch, i, pending, flush, profiler
+            )
+
+    for batch in batches:
+        n = len(batch)
+        i = 0
+        while i < n:
+            i, pending_cpu, outcome = consume(app, batch, i, pending_cpu, cpu_flush_us)
+            if outcome == BATCH_FLUSH:
+                yield from execute(pending_cpu)
+                pending_cpu = 0.0
+            elif outcome == BATCH_FAULT:
+                vpn = batch.vpn_list[i]
+                write = batch.write_list[i]
+                if pending_cpu > 0.0:
+                    yield from execute(pending_cpu)
+                    pending_cpu = 0.0
+                yield from handle_fault(app, thread_id, vpn, write)
+                if write:
+                    pages[vpn].dirty = True
+                i += 1
     if pending_cpu > 0.0:
         yield from execute(pending_cpu)
 
@@ -81,21 +151,26 @@ def run_to_completion(engine, processes, limit_us: float = 60_000_000_000.0) -> 
 def spawn_app(
     system: BaseSwapSystem,
     app: AppContext,
-    thread_streams: Iterable[Iterator[Access]],
+    thread_streams: Iterable[Iterator],
     cpu_flush_us: float = 25.0,
+    batched: bool = False,
+    profiler=None,
 ):
     """Spawn one process per thread stream; returns the joined process.
 
-    Marks ``app.started_at_us`` / ``app.finished_at_us`` around the whole
-    application, which is what the completion-time figures report.
+    ``batched=True`` treats each stream as AccessBatch chunks and drives
+    it through :func:`app_thread_batched`.  Marks ``app.started_at_us`` /
+    ``app.finished_at_us`` around the whole application, which is what
+    the completion-time figures report.
     """
     engine = system.engine
+    thread_fn = app_thread_batched if batched else app_thread
 
     def run_all():
         app.started_at_us = engine.now
         threads = [
             engine.spawn(
-                app_thread(system, app, thread_id, stream, cpu_flush_us),
+                thread_fn(system, app, thread_id, stream, cpu_flush_us, profiler),
                 name=f"{app.name}.t{thread_id}",
             )
             for thread_id, stream in enumerate(thread_streams)

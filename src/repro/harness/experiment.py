@@ -65,6 +65,15 @@ class ExperimentConfig:
     partition_headroom: float = 0.25
     #: Baseline prefetcher: "readahead", "leap", or "none".
     prefetcher: str = "readahead"
+    #: Drive threads with batched access streams (the resident fast
+    #: path).  ``False`` keeps the scalar one-tuple-per-access protocol;
+    #: results are bit-identical either way.
+    batched_streams: bool = True
+    #: Accumulated CPU is charged to the simulated core once it reaches
+    #: this many microseconds (timing granularity of CPU bursts between
+    #: faults).  Both stream protocols honour the same threshold, so it
+    #: never affects batched-vs-unbatched equivalence.
+    cpu_flush_us: float = 25.0
     #: Swap cache budget as a fraction of local memory (per app under
     #: Canvas; summed for the shared baseline cache).
     swap_cache_fraction: float = 0.25
@@ -254,9 +263,17 @@ def _make_prefetcher(config: ExperimentConfig) -> Optional[Prefetcher]:
 
 
 def run_experiment(
-    workload_names: List[str], config: ExperimentConfig
+    workload_names: List[str],
+    config: ExperimentConfig,
+    profiler=None,
 ) -> ExperimentResult:
-    """Build the machine + system + apps, run to completion, summarize."""
+    """Build the machine + system + apps, run to completion, summarize.
+
+    ``profiler`` (a :class:`repro.metrics.SimProfiler`) opts into
+    wall-clock attribution; it never changes simulated results.
+    """
+    from time import perf_counter
+
     from repro.rdma.nic import DEFAULT_BANDWIDTH_BYTES_PER_US
 
     bandwidth = DEFAULT_BANDWIDTH_BYTES_PER_US * config.bandwidth_scale
@@ -287,6 +304,8 @@ def run_experiment(
 
     system = _build_system(machine, config, total_remote)
     is_canvas = isinstance(system, CanvasSwapSystem)
+    if profiler is not None:
+        machine.nic.profiler = profiler
 
     apps: Dict[str, AppContext] = {}
     processes = []
@@ -314,8 +333,19 @@ def run_experiment(
         )
         system.prepopulate(app, resident_fraction)
         stream_rng = machine.rng.child(workload.name).stream("streams")
+        if config.batched_streams:
+            streams = workload.thread_batch_streams(app, stream_rng)
+        else:
+            streams = workload.thread_streams(app, stream_rng)
         processes.append(
-            spawn_app(system, app, workload.thread_streams(app, stream_rng))
+            spawn_app(
+                system,
+                app,
+                streams,
+                cpu_flush_us=config.cpu_flush_us,
+                batched=config.batched_streams,
+                profiler=profiler,
+            )
         )
         apps[workload.name] = app
 
@@ -330,7 +360,13 @@ def run_experiment(
             64, sum(app.pool.capacity_pages for app in apps.values())
         )
 
+    wall_start = perf_counter()
     elapsed = run_to_completion(machine.engine, processes, limit_us=config.limit_us)
+    if profiler is not None:
+        profiler.record_run(
+            perf_counter() - wall_start,
+            sum(app.stats.accesses for app in apps.values()),
+        )
     return ExperimentResult(machine, system, apps, elapsed)
 
 

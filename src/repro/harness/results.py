@@ -33,7 +33,30 @@ __all__ = [
     "snapshot_app",
     "snapshot_system",
     "snapshot_result_state",
+    "result_digest",
 ]
+
+
+def result_digest(result) -> str:
+    """A hex digest over every simulated number a benchmark reads back.
+
+    Two runs are considered bit-identical iff their digests match:
+    per-app completion times, the full per-app swap-stats counters
+    (floats included — ``repr`` round-trips them exactly), and the
+    machine-level elapsed time all feed the hash.  Works on live
+    results and on snapshots that crossed a pickle/process boundary.
+    """
+    import hashlib
+    from dataclasses import asdict
+
+    parts = []
+    for name in sorted(result.results):
+        app_result = result.results[name]
+        parts.append(
+            (name, app_result.completion_time_us, sorted(asdict(app_result.stats).items()))
+        )
+    parts.append(("elapsed_us", result.elapsed_us))
+    return hashlib.sha256(repr(parts).encode()).hexdigest()
 
 
 @dataclass

@@ -23,6 +23,7 @@ completes and drops the page.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Optional
 
@@ -38,7 +39,19 @@ from repro.swap.entry import SwapEntry
 from repro.swap.partition import SwapPartition
 from repro.swap.swap_cache import SwapCache
 
-__all__ = ["SwapSystemConfig", "BaseSwapSystem", "LinuxSwapSystem"]
+__all__ = [
+    "SwapSystemConfig",
+    "BaseSwapSystem",
+    "LinuxSwapSystem",
+    "BATCH_FLUSH",
+    "BATCH_FAULT",
+    "BATCH_END",
+]
+
+#: ``consume_batch`` outcomes: the consumed run ended because the CPU
+#: accumulator crossed the flush threshold, because the next access
+#: faults, or because the batch is exhausted.
+BATCH_FLUSH, BATCH_FAULT, BATCH_END = 0, 1, 2
 
 
 @dataclass
@@ -227,6 +240,172 @@ class BaseSwapSystem:
     def note_access(self, app: AppContext, page: Page, write: bool) -> None:
         page.touch(self.engine.now, write)
         app.lru.note_access(page)
+
+    def consume_batch(
+        self,
+        app: AppContext,
+        batch,
+        start: int,
+        pending_cpu: float,
+        flush_us: float,
+    ):
+        """Consume a run of resident accesses from ``batch[start:]``.
+
+        Returns ``(next_index, pending_cpu, outcome)``.  The engine is
+        frozen between the driver's yields, so every access in the run
+        sees the same simulated instant; this loop performs exactly the
+        per-access side effects the scalar path would (access counting,
+        referenced/dirty bits, access timestamps, LRU promotion) without
+        a generator round-trip per access.  CPU accumulates left-to-right
+        in Python floats, so ``pending_cpu`` is bit-identical to the
+        scalar path's.
+
+        * ``BATCH_FLUSH``: the access at ``next_index - 1`` pushed
+          ``pending_cpu`` past ``flush_us``; the caller must execute it.
+        * ``BATCH_FAULT``: the access at ``next_index`` is not resident.
+          It is already counted and its CPU is in ``pending_cpu`` (the
+          scalar path flushes the faulting access's CPU before the fault);
+          the caller runs ``handle_fault`` for it.
+        * ``BATCH_END``: the batch is exhausted.
+        """
+        vpn_list = batch.vpn_list
+        # resident_map holds the page object (or None): classification
+        # and page fetch are one flat list index.
+        resident = app.space.resident_map
+        note = app.lru.note_access
+        # The common LRU case (page already active: refresh its position)
+        # is inlined as a single dict pop + re-insert; only the rare
+        # inactive->active promotion pays for the note_access call.
+        active = app.lru.active._pages
+        active_pop = active.pop
+        now = self.engine.now
+        n = len(vpn_list)
+        end = n
+        outcome = BATCH_END
+        cpu = batch.constant_cpu
+        if cpu is not None:
+            # Uniform per-access cost (the common case).  The flush
+            # crossing depends only on (pending_cpu, cpu, flush_us), so
+            # it is found up front with bare sequential float adds —
+            # bit-identical to accumulating inside the loop — and the
+            # page loop below runs without accumulate/threshold work.
+            steps = 0
+            remaining = n - start
+            tmp = pending_cpu
+            while steps < remaining:
+                tmp += cpu
+                steps += 1
+                if tmp >= flush_us:
+                    end = start + steps
+                    outcome = BATCH_FLUSH
+                    break
+            fault_vpn = -1
+            for vpn in vpn_list[start : start + steps]:
+                page = resident[vpn]
+                try:
+                    page.referenced = True
+                except AttributeError:  # page is None: first non-resident
+                    fault_vpn = vpn
+                    break
+                page.last_access_us = now
+                try:
+                    active[page] = active_pop(page)
+                except KeyError:
+                    note(page)
+            if fault_vpn < 0:
+                pending_cpu = tmp
+            else:
+                # Residency is frozen within a consume call, so the
+                # faulting access is the first occurrence of its VPN at
+                # or after ``start``.  Replay the adds up to and
+                # including it so pending_cpu keeps the scalar path's
+                # exact accumulation sequence.
+                end = vpn_list.index(fault_vpn, start)
+                outcome = BATCH_FAULT
+                for _ in range(end - start + 1):
+                    pending_cpu += cpu
+        else:
+            cpu_list = batch.cpu_list
+            for i in range(start, n):
+                page = resident[vpn_list[i]]
+                if page is None:
+                    pending_cpu += cpu_list[i]
+                    end = i
+                    outcome = BATCH_FAULT
+                    break
+                pending_cpu += cpu_list[i]
+                page.referenced = True
+                page.last_access_us = now
+                try:
+                    active[page] = active_pop(page)
+                except KeyError:
+                    note(page)
+                if pending_cpu >= flush_us:
+                    end = i + 1
+                    outcome = BATCH_FLUSH
+                    break
+        # Dirty bits for the consumed resident run [start, end): applied
+        # from the batch's precomputed write positions instead of a
+        # per-access check (the faulting access, if any, sits at ``end``
+        # and is dirtied by the driver after the fault resolves).
+        writes = batch.write_positions
+        if writes:
+            for k in writes[bisect_left(writes, start):]:
+                if k >= end:
+                    break
+                resident[vpn_list[k]].dirty = True
+        app.stats.accesses += end - start + (1 if outcome == BATCH_FAULT else 0)
+        return end, pending_cpu, outcome
+
+    def consume_batch_profiled(
+        self,
+        app: AppContext,
+        batch,
+        start: int,
+        pending_cpu: float,
+        flush_us: float,
+        profiler,
+    ):
+        """Profiling twin of :meth:`consume_batch`: identical returns and
+        side effects, but classification/clock advance and LRU/page
+        maintenance run as separate timed passes so the profiler can
+        attribute them individually."""
+        from time import perf_counter
+
+        t0 = perf_counter()
+        vpn_list = batch.vpn_list
+        write_list = batch.write_list
+        cpu_list = batch.cpu_list
+        resident = app.space.resident_map
+        n = len(vpn_list)
+        outcome = BATCH_END
+        i = start
+        while i < n:
+            if not resident[vpn_list[i]]:
+                pending_cpu += cpu_list[i]
+                outcome = BATCH_FAULT
+                break
+            pending_cpu += cpu_list[i]
+            i += 1
+            if pending_cpu >= flush_us:
+                outcome = BATCH_FLUSH
+                break
+        t1 = perf_counter()
+        profiler.add("fast_path", t1 - t0)
+        # Side effects for the resident run [start, i).
+        pages = app.space.pages
+        note = app.lru.note_access
+        now = self.engine.now
+        for k in range(start, i):
+            page = pages[vpn_list[k]]
+            page.referenced = True
+            page.last_access_us = now
+            if write_list[k]:
+                page.dirty = True
+            note(page)
+        app.stats.accesses += (i - start) + (1 if outcome == BATCH_FAULT else 0)
+        profiler.add("lru", perf_counter() - t1)
+        return i, pending_cpu, outcome
 
     # ------------------------------------------------------------------
     # Fault handling

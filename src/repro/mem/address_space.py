@@ -62,17 +62,31 @@ class AddressSpace:
         self.name = name
         self.vmas: List[VMA] = []
         self.pages: Dict[int, Page] = {}
+        #: Residency indexed by raw VPN: ``resident_map[vpn]`` is the
+        #: page object when ``pages[vpn].resident`` and None otherwise
+        #: (kept in sync by the Page setter).  The batched fast path
+        #: classifies an access *and* fetches its page with one flat
+        #: list index.  Unmapped/guard slots stay None.
+        self.resident_map: List[Optional[Page]] = []
         self._next_vpn = 0x1000  # skip the NULL guard area
 
     # -- mapping ---------------------------------------------------------
+
+    def _grow_resident_map(self, end_vpn: int) -> None:
+        if end_vpn > len(self.resident_map):
+            self.resident_map.extend([None] * (end_vpn - len(self.resident_map)))
 
     def map_region(self, n_pages: int, name: str = "", shared: bool = False) -> VMA:
         """Map a fresh anonymous region and materialize its pages."""
         vma = VMA(self._next_vpn, n_pages, name=name, shared=shared)
         self._next_vpn = vma.end_vpn + self.GUARD_PAGES
         self.vmas.append(vma)
+        self._grow_resident_map(vma.end_vpn)
         for vpn in vma.vpns():
-            self.pages[vpn] = Page(vpn, owner_name=self.name)
+            page = Page(vpn, owner_name=self.name)
+            self.pages[vpn] = page
+            page.attach_space(self)
+            self.resident_map[vpn] = page if page.resident else None
         return vma
 
     def map_shared_from(self, other: "AddressSpace", vma: VMA, name: str = "") -> VMA:
@@ -84,10 +98,13 @@ class AddressSpace:
         mirror = VMA(vma.start_vpn, vma.n_pages, name=name or vma.name, shared=True)
         vma.shared = True
         self.vmas.append(mirror)
+        self._grow_resident_map(vma.end_vpn)
         for vpn in vma.vpns():
             page = other.pages[vpn]
             page.mapcount += 1
             self.pages[vpn] = page
+            page.attach_space(self)
+            self.resident_map[vpn] = page if page.resident else None
         return mirror
 
     # -- lookup ----------------------------------------------------------

@@ -9,27 +9,30 @@ scans the *head* of the active list, so :class:`LRUList` exposes that scan.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.mem.page import Page
 
 __all__ = ["LRUList", "ActiveInactiveLRU"]
 
+#: Sentinel distinguishing "absent" from a stored None value.
+_MISSING = object()
+
 
 class LRUList:
     """An ordered list of pages, most-recently-used at the head.
 
-    Backed by an :class:`OrderedDict` so every operation the simulation
-    performs (insert, remove, promote, pop-tail, head scan) is O(1) or
-    O(scan length).
+    Backed by a plain insertion-ordered dict so every operation the
+    simulation performs (insert, remove, promote, pop-tail, head scan)
+    is O(1) or O(scan length); a promote is a single pop + re-insert,
+    not a probe-then-move.
     """
 
     def __init__(self, name: str = "lru"):
         self.name = name
-        # OrderedDict iterates oldest-first; we keep MRU at the *end* and
-        # treat the end as the "head" of the kernel list.
-        self._pages: "OrderedDict[Page, None]" = OrderedDict()
+        # Dicts iterate oldest-first; we keep MRU at the *end* and treat
+        # the end as the "head" of the kernel list.
+        self._pages: Dict[Page, None] = {}
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -47,23 +50,23 @@ class LRUList:
         self._pages[page] = None
 
     def move_to_head(self, page: Page) -> None:
-        self._pages.move_to_end(page)
+        pages = self._pages
+        pages[page] = pages.pop(page)
 
     def remove(self, page: Page) -> None:
         del self._pages[page]
 
     def discard(self, page: Page) -> bool:
         """Remove if present; returns whether the page was on the list."""
-        if page in self._pages:
-            del self._pages[page]
-            return True
-        return False
+        sentinel = _MISSING
+        return self._pages.pop(page, sentinel) is not sentinel
 
     def pop_tail(self) -> Optional[Page]:
         """Remove and return the least-recently-used page."""
         if not self._pages:
             return None
-        page, _ = self._pages.popitem(last=False)
+        page = next(iter(self._pages))
+        del self._pages[page]
         return page
 
     def peek_tail(self) -> Optional[Page]:
@@ -104,14 +107,24 @@ class ActiveInactiveLRU:
         self.inactive.add_to_head(page)
 
     def note_access(self, page: Page) -> None:
-        """Promote a referenced inactive page; refresh an active one."""
-        if page in self.active:
-            self.active.move_to_head(page)
-        elif page in self.inactive:
-            self.inactive.remove(page)
-            self.active.add_to_head(page)
-        else:
-            raise ValueError(f"page {page.vpn:#x} not on {self.name} LRU")
+        """Promote a referenced inactive page; refresh an active one.
+
+        Hot-path: called once per simulated resident access.  Each list
+        is touched with a single hash probe (``pop``) instead of a
+        membership test followed by a move/remove.
+        """
+        active = self.active._pages
+        try:
+            active[page] = active.pop(page)
+            return
+        except KeyError:
+            pass
+        inactive = self.inactive._pages
+        try:
+            inactive.pop(page)
+        except KeyError:
+            raise ValueError(f"page {page.vpn:#x} not on {self.name} LRU") from None
+        active[page] = None
 
     def remove(self, page: Page) -> None:
         if not self.active.discard(page):

@@ -55,7 +55,8 @@ class Page:
         "page_id",
         "vpn",
         "owner_name",
-        "resident",
+        "_resident",
+        "_spaces",
         "dirty",
         "referenced",
         "mapcount",
@@ -75,7 +76,9 @@ class Page:
         self.page_id: int = next(_page_ids)
         self.vpn = vpn
         self.owner_name = owner_name
-        self.resident = True
+        #: Address spaces mirroring this page's residency (see ``resident``).
+        self._spaces: tuple = ()
+        self._resident = True
         self.dirty = False
         self.referenced = False
         self.mapcount = mapcount
@@ -96,6 +99,23 @@ class Page:
         #: Timestamp written when a prefetch for this page entered a VQP
         #: (§5.3 stale-prefetch detection); None when no prefetch pending.
         self.prefetch_timestamp_us: Optional[float] = None
+
+    @property
+    def resident(self) -> bool:
+        return self._resident
+
+    @resident.setter
+    def resident(self, value: bool) -> None:
+        """Flip residency, keeping every mapping space's O(1) residency
+        map (the batched fast path's classification array) in sync."""
+        self._resident = value
+        entry = self if value else None
+        for space in self._spaces:
+            space.resident_map[self.vpn] = entry
+
+    def attach_space(self, space) -> None:
+        """Register an address space whose residency map mirrors this page."""
+        self._spaces = self._spaces + (space,)
 
     @property
     def shared(self) -> bool:

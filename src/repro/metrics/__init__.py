@@ -6,6 +6,7 @@ from repro.metrics.collectors import (
     RateMeter,
     weighted_min_max_ratio,
 )
+from repro.metrics.profiler import SimProfiler
 from repro.metrics.report import (
     format_cache_summary,
     format_cdf,
@@ -15,6 +16,7 @@ from repro.metrics.report import (
 )
 
 __all__ = [
+    "SimProfiler",
     "BandwidthMeter",
     "Histogram",
     "RateMeter",

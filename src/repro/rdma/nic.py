@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.rdma.message import RdmaOp, RdmaRequest
@@ -117,6 +118,9 @@ class RNIC:
         self.base_latency_us = base_latency_us
         self.verb_overhead_us = verb_overhead_us
         self.stats = NicStats()
+        #: Optional SimProfiler; when set, dispatch selection and
+        #: completion callbacks are attributed to the "rdma" section.
+        self.profiler = None
         self._qps: Dict[RdmaOp, List[PhysicalQP]] = {RdmaOp.READ: [], RdmaOp.WRITE: []}
         self._rr_cursor: Dict[RdmaOp, int] = {RdmaOp.READ: 0, RdmaOp.WRITE: 0}
         self._dispatch_idle: Dict[RdmaOp, bool] = {RdmaOp.READ: True, RdmaOp.WRITE: True}
@@ -175,7 +179,12 @@ class RNIC:
     def _dispatch_loop(self, op: RdmaOp):
         channel = self.read_channel if op is RdmaOp.READ else self.write_channel
         while True:
-            request = self._select(op)
+            if self.profiler is not None:
+                t0 = perf_counter()
+                request = self._select(op)
+                self.profiler.add("rdma", perf_counter() - t0)
+            else:
+                request = self._select(op)
             if request is None:
                 wakeup = self.engine.event(f"{self.name}.{op.value}.wakeup")
                 self._wakeups[op] = wakeup
@@ -199,6 +208,14 @@ class RNIC:
             )
 
     def _complete(self, request: RdmaRequest) -> None:
+        if self.profiler is not None:
+            t0 = perf_counter()
+            self._complete_inner(request)
+            self.profiler.add("rdma", perf_counter() - t0)
+            return
+        self._complete_inner(request)
+
+    def _complete_inner(self, request: RdmaRequest) -> None:
         request.completed_at_us = self.engine.now
         if request.op is RdmaOp.READ:
             self.stats.reads_completed += 1

@@ -17,9 +17,8 @@ prefetched) metrics in Table 5 and Fig. 14.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.mem.page import Page
 from repro.swap.entry import SwapEntry
@@ -58,7 +57,9 @@ class SwapCache:
         self.name = name
         self.capacity_pages = capacity_pages
         self.stats = SwapCacheStats()
-        self._pages: "OrderedDict[int, Page]" = OrderedDict()
+        # Insertion-ordered dict, LRU-first; a hit's promotion is a
+        # single pop + re-insert.
+        self._pages: Dict[int, Page] = {}
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -76,15 +77,20 @@ class SwapCache:
         return max(0, len(self._pages) - self.capacity_pages)
 
     def lookup(self, entry: SwapEntry) -> Optional[Page]:
-        """Fault-path lookup.  Counts hit/miss and prefetch contribution."""
+        """Fault-path lookup.  Counts hit/miss and prefetch contribution.
+
+        One hash probe: the pop both answers the membership question and
+        detaches the page, which a hit re-inserts at the MRU end.
+        """
         self.stats.lookups += 1
-        page = self._pages.get(entry.entry_id)
+        pages = self._pages
+        page = pages.pop(entry.entry_id, None)
         if page is None:
             return None
+        pages[entry.entry_id] = page
         self.stats.hits += 1
         if page.prefetched:
             self.stats.prefetch_hits += 1
-        self._pages.move_to_end(entry.entry_id)
         return page
 
     def peek(self, entry: SwapEntry) -> Optional[Page]:

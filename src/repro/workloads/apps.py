@@ -33,6 +33,7 @@ import numpy as np
 from repro.kernel.cgroup import AppContext
 from repro.workloads import patterns
 from repro.workloads.base import Access, Workload
+from repro.workloads.batch import BATCH_SIZE, AccessBatch, emit_batches
 
 __all__ = [
     "SparkScanWorkload",
@@ -86,9 +87,9 @@ class _ManagedWorkload(Workload):
 
     def _gc_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
+    ) -> List[Iterator[AccessBatch]]:
         return [
-            patterns.gc_bursts(
+            patterns.gc_bursts_batches(
                 self.heap_chain,
                 n_bursts=self.gc_bursts,
                 burst_len=self.gc_burst_len,
@@ -119,14 +120,14 @@ class SparkScanWorkload(_ManagedWorkload):
     def _register_data(self, app: AppContext, rng: np.random.Generator) -> None:
         app.runtime.record_large_array(self.data_vma.start_vpn, self.data_vma.n_pages)
 
-    def thread_streams(
+    def thread_batch_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
-        streams: List[Iterator[Access]] = []
+    ) -> List[Iterator[AccessBatch]]:
+        streams: List[Iterator[AccessBatch]] = []
         partition = self.data_vma.n_pages // self.n_threads
         for tid in range(self.n_threads):
             child = np.random.default_rng(rng.integers(1 << 31))
-            scan = patterns.sequential(
+            scan = patterns.sequential_batches(
                 self.data_vma,
                 self.accesses_per_thread,
                 write_ratio=self.write_ratio,
@@ -178,15 +179,15 @@ class SparkGraphWorkload(_ManagedWorkload):
     def _register_data(self, app: AppContext, rng: np.random.Generator) -> None:
         pass  # adjacency data is reference-linked, not one large array
 
-    def thread_streams(
+    def thread_batch_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
-        streams: List[Iterator[Access]] = []
+    ) -> List[Iterator[AccessBatch]]:
+        streams: List[Iterator[AccessBatch]] = []
         span = len(self.heap_chain)
         for tid in range(self.n_threads):
             child = np.random.default_rng(rng.integers(1 << 31))
             streams.append(
-                patterns.pointer_chase(
+                patterns.pointer_chase_batches(
                     self.heap_chain,
                     self.accesses_per_thread,
                     write_ratio=self.write_ratio,
@@ -259,14 +260,14 @@ class SparkSSG(_ManagedWorkload):
     def _register_data(self, app: AppContext, rng: np.random.Generator) -> None:
         app.runtime.record_large_array(self.data_vma.start_vpn, self.data_vma.n_pages)
 
-    def thread_streams(
+    def thread_batch_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
-        streams: List[Iterator[Access]] = []
+    ) -> List[Iterator[AccessBatch]]:
+        streams: List[Iterator[AccessBatch]] = []
         for _tid in range(self.n_threads):
             child = np.random.default_rng(rng.integers(1 << 31))
             streams.append(
-                patterns.zipfian(
+                patterns.zipfian_batches(
                     self.data_vma,
                     self.accesses_per_thread,
                     child,
@@ -299,14 +300,14 @@ class CassandraWorkload(_ManagedWorkload):
         for src, dst in zip(self.record_chain, self.record_chain[1:]):
             runtime.record_reference(src, dst)
 
-    def thread_streams(
+    def thread_batch_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
-        streams: List[Iterator[Access]] = []
+    ) -> List[Iterator[AccessBatch]]:
+        streams: List[Iterator[AccessBatch]] = []
         for _tid in range(self.n_threads):
             child = np.random.default_rng(rng.integers(1 << 31))
             streams.append(
-                patterns.zipfian(
+                patterns.zipfian_batches(
                     self.data_vma,
                     self.accesses_per_thread,
                     child,
@@ -343,24 +344,25 @@ class Neo4jWorkload(_ManagedWorkload):
         for src, dst in zip(self.graph_chain, self.graph_chain[1:]):
             runtime.record_reference(src, dst)
 
-    def thread_streams(
+    def thread_batch_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
+    ) -> List[Iterator[AccessBatch]]:
         hot_len = max(16, int(len(self.graph_chain) * self.hot_fraction))
-        hot_chain = self.graph_chain[:hot_len]
+        hot_chain = np.asarray(self.graph_chain[:hot_len])
+        cold_chain = np.asarray(self.graph_chain)
 
-        def traversal(child: np.random.Generator) -> Iterator[Access]:
-            cold_pos = 0
-            hot_pos = 0
-            for _ in range(self.accesses_per_thread):
-                if child.random() < self.hot_probability:
-                    hot_pos = (hot_pos + 1) % hot_len
-                    yield (hot_chain[hot_pos], False, 1.0)
-                else:
-                    cold_pos = (cold_pos + 1) % len(self.graph_chain)
-                    yield (self.graph_chain[cold_pos], False, 1.0)
+        def traversal(child: np.random.Generator) -> Iterator[AccessBatch]:
+            # Vectorized transcription of the scalar walk: each step draws
+            # one uniform; a hot step advances the hot cursor (mod the hot
+            # core), a cold one the cold cursor (mod the whole chain), and
+            # cursor positions are running counts of steps of that kind.
+            hot = child.random(self.accesses_per_thread) < self.hot_probability
+            hot_pos = np.cumsum(hot) % hot_len
+            cold_pos = np.cumsum(~hot) % len(self.graph_chain)
+            vpns = np.where(hot, hot_chain[hot_pos], cold_chain[cold_pos])
+            yield from emit_batches(vpns, False, 1.0, BATCH_SIZE)
 
-        streams: List[Iterator[Access]] = [
+        streams: List[Iterator[AccessBatch]] = [
             traversal(np.random.default_rng(rng.integers(1 << 31)))
             for _ in range(self.n_threads)
         ]
@@ -382,11 +384,11 @@ class MemcachedWorkload(Workload):
         self.store_vma = app.space.map_region(self.working_set_pages, name="slabs")
         self.attach_runtime(app)
 
-    def thread_streams(
+    def thread_batch_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
+    ) -> List[Iterator[AccessBatch]]:
         return [
-            patterns.zipfian(
+            patterns.zipfian_batches(
                 self.store_vma,
                 self.accesses_per_thread,
                 np.random.default_rng(rng.integers(1 << 31)),
@@ -414,12 +416,12 @@ class XGBoostWorkload(Workload):
         self.attach_runtime(app)
         app.runtime.record_large_array(self.matrix_vma.start_vpn, self.matrix_vma.n_pages)
 
-    def thread_streams(
+    def thread_batch_streams(
         self, app: AppContext, rng: np.random.Generator
-    ) -> List[Iterator[Access]]:
+    ) -> List[Iterator[AccessBatch]]:
         block = self.matrix_vma.n_pages // self.n_threads
         return [
-            patterns.sequential(
+            patterns.sequential_batches(
                 self.matrix_vma,
                 self.accesses_per_thread,
                 write_ratio=0.05,
@@ -448,6 +450,9 @@ class SnappyWorkload(Workload):
         self.output_vma = app.space.map_region(out_pages, name="output")
         self.attach_runtime(app)
 
+    # Snappy's reader/writer interleaving is inherently stateful, so it
+    # keeps the scalar protocol; the base class derives its batched
+    # stream through the generic chunk_stream fallback.
     def thread_streams(
         self, app: AppContext, rng: np.random.Generator
     ) -> List[Iterator[Access]]:

@@ -12,12 +12,13 @@ fault rates, thread counts) are scale-invariant.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 import numpy as np
 
 from repro.kernel.cgroup import AppContext
 from repro.runtime.jvm import JvmRuntime, NativeRuntime
+from repro.workloads.batch import AccessBatch, chunk_stream, flatten_batches
 
 __all__ = ["Workload"]
 
@@ -54,7 +55,29 @@ class Workload:
     def thread_streams(
         self, app: AppContext, rng: np.random.Generator
     ) -> List[Iterator[Access]]:
-        """One access stream per thread (app threads first, then aux)."""
+        """One scalar access stream per thread (app threads first, then aux).
+
+        Subclasses override either this or :meth:`thread_batch_streams`
+        (or both); each default derives from the other, so the two
+        protocols always describe the same access sequence.
+        """
+        if type(self).thread_batch_streams is not Workload.thread_batch_streams:
+            return [
+                flatten_batches(stream)
+                for stream in self.thread_batch_streams(app, rng)
+            ]
+        raise NotImplementedError
+
+    def thread_batch_streams(
+        self, app: AppContext, rng: np.random.Generator
+    ) -> List[Iterator[AccessBatch]]:
+        """One batched access stream per thread (the driver fast path).
+
+        The default re-chunks :meth:`thread_streams`; workloads whose
+        patterns vectorize override this natively.
+        """
+        if type(self).thread_streams is not Workload.thread_streams:
+            return [chunk_stream(stream) for stream in self.thread_streams(app, rng)]
         raise NotImplementedError
 
     # -- helpers ----------------------------------------------------------

@@ -1,10 +1,16 @@
 """Access-stream combinators.
 
-Each generator yields ``(vpn, is_write, cpu_us)`` tuples — the protocol
-consumed by :func:`repro.harness.driver.app_thread`.  Workloads are built
-by composing these primitives: Snappy is one sequential stream, Memcached
-is a Zipf stream, Spark is epochal scans plus pointer chasing plus GC
-bursts, and so on.
+Each scalar generator yields ``(vpn, is_write, cpu_us)`` tuples — the
+protocol consumed by :func:`repro.harness.driver.app_thread`.  Workloads
+are built by composing these primitives: Snappy is one sequential
+stream, Memcached is a Zipf stream, Spark is epochal scans plus pointer
+chasing plus GC bursts, and so on.
+
+Every primitive also has a ``*_batches`` variant producing
+:class:`~repro.workloads.batch.AccessBatch` chunks with the columns
+computed vectorized.  The scalar generators are defined as
+``flatten_batches`` over the batched ones, so both protocols emit the
+same access sequence from the same RNG draws by construction.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.mem.address_space import VMA
+from repro.workloads.batch import BATCH_SIZE, AccessBatch, emit_batches, flatten_batches
 from repro.workloads.zipf import ZipfSampler
 
 __all__ = [
@@ -25,9 +32,140 @@ __all__ = [
     "gc_bursts",
     "interleave",
     "shuffled_chain",
+    "grouped_chain",
+    "sequential_batches",
+    "strided_batches",
+    "zipfian_batches",
+    "uniform_random_batches",
+    "pointer_chase_batches",
+    "gc_bursts_batches",
 ]
 
 Access = Tuple[int, bool, float]
+
+
+# -- batched producers ----------------------------------------------------
+
+
+def sequential_batches(
+    vma: VMA,
+    n: int,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.05,
+    start: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    batch_size: int = BATCH_SIZE,
+) -> Iterator[AccessBatch]:
+    """Wrap-around sequential scan from ``start`` (page offset)."""
+    writes = _write_flags(n, write_ratio, rng)
+    vpns = vma.start_vpn + (start + np.arange(n)) % vma.n_pages
+    yield from emit_batches(vpns, writes, cpu_us, batch_size)
+
+
+def strided_batches(
+    vma: VMA,
+    n: int,
+    stride: int,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.05,
+    start: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    batch_size: int = BATCH_SIZE,
+) -> Iterator[AccessBatch]:
+    """Wrap-around strided scan (e.g. column access of a row-major matrix)."""
+    writes = _write_flags(n, write_ratio, rng)
+    vpns = vma.start_vpn + (start + np.arange(n) * stride) % vma.n_pages
+    yield from emit_batches(vpns, writes, cpu_us, batch_size)
+
+
+def zipfian_batches(
+    vma: VMA,
+    n: int,
+    rng: np.random.Generator,
+    theta: float = 0.99,
+    write_ratio: float = 0.1,
+    cpu_us: float = 0.1,
+    batch_size: int = BATCH_SIZE,
+) -> Iterator[AccessBatch]:
+    """Zipf-popular page accesses (YCSB-style key lookups)."""
+    sampler = ZipfSampler(vma.n_pages, theta, rng)
+    ranks = sampler.sample_many(n)
+    # Scatter ranks over the region so popular pages are not contiguous.
+    permutation = rng.permutation(vma.n_pages)
+    writes = _write_flags(n, write_ratio, rng)
+    vpns = vma.start_vpn + permutation[ranks]
+    yield from emit_batches(vpns, writes, cpu_us, batch_size)
+
+
+def uniform_random_batches(
+    vma: VMA,
+    n: int,
+    rng: np.random.Generator,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.05,
+    batch_size: int = BATCH_SIZE,
+) -> Iterator[AccessBatch]:
+    offsets = rng.integers(0, vma.n_pages, size=n)
+    writes = _write_flags(n, write_ratio, rng)
+    yield from emit_batches(vma.start_vpn + offsets, writes, cpu_us, batch_size)
+
+
+def pointer_chase_batches(
+    chain: Sequence[int],
+    n: int,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.15,
+    start_index: int = 0,
+    rng: Optional[np.random.Generator] = None,
+    batch_size: int = BATCH_SIZE,
+) -> Iterator[AccessBatch]:
+    """Follow a fixed pointer chain repeatedly.
+
+    The chain is deterministic (the heap's object graph does not change
+    between traversals), which is exactly why reference-graph prefetching
+    works on it while stride detectors see noise.
+    """
+    writes = _write_flags(n, write_ratio, rng)
+    vpns = np.asarray(chain)[(start_index + np.arange(n)) % len(chain)]
+    yield from emit_batches(vpns, writes, cpu_us, batch_size)
+
+
+def gc_bursts_batches(
+    chain: Sequence[int],
+    n_bursts: int,
+    burst_len: int,
+    idle_cpu_us: float = 400.0,
+    cpu_us: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+    batch_size: int = BATCH_SIZE,
+) -> Iterator[AccessBatch]:
+    """A GC thread: long compute pauses, then a burst of graph traversal.
+
+    The first access of each burst carries the accumulated idle CPU so the
+    thread occupies a core between collections without generating events.
+    """
+    span = len(chain)
+    vpns = np.asarray(chain)
+    position = 0
+    vpn_parts: List[np.ndarray] = []
+    cpu_parts: List[np.ndarray] = []
+    for _ in range(n_bursts):
+        if rng is not None:
+            position = int(rng.integers(0, span))
+        if burst_len > 0:
+            vpn_parts.append(vpns[(position + np.arange(burst_len)) % span])
+            costs = np.full(burst_len, cpu_us, dtype=np.float64)
+            costs[0] = idle_cpu_us
+            cpu_parts.append(costs)
+        position += burst_len
+    if not vpn_parts:
+        return
+    yield from emit_batches(
+        np.concatenate(vpn_parts), False, np.concatenate(cpu_parts), batch_size
+    )
+
+
+# -- scalar protocol ------------------------------------------------------
 
 
 def sequential(
@@ -38,11 +176,8 @@ def sequential(
     start: int = 0,
     rng: Optional[np.random.Generator] = None,
 ) -> Iterator[Access]:
-    """Wrap-around sequential scan from ``start`` (page offset)."""
-    writes = _write_flags(n, write_ratio, rng)
-    base, span = vma.start_vpn, vma.n_pages
-    for i in range(n):
-        yield (base + (start + i) % span, writes[i], cpu_us)
+    """Scalar view of :func:`sequential_batches`."""
+    return flatten_batches(sequential_batches(vma, n, write_ratio, cpu_us, start, rng))
 
 
 def strided(
@@ -54,11 +189,10 @@ def strided(
     start: int = 0,
     rng: Optional[np.random.Generator] = None,
 ) -> Iterator[Access]:
-    """Wrap-around strided scan (e.g. column access of a row-major matrix)."""
-    writes = _write_flags(n, write_ratio, rng)
-    base, span = vma.start_vpn, vma.n_pages
-    for i in range(n):
-        yield (base + (start + i * stride) % span, writes[i], cpu_us)
+    """Scalar view of :func:`strided_batches`."""
+    return flatten_batches(
+        strided_batches(vma, n, stride, write_ratio, cpu_us, start, rng)
+    )
 
 
 def zipfian(
@@ -69,15 +203,8 @@ def zipfian(
     write_ratio: float = 0.1,
     cpu_us: float = 0.1,
 ) -> Iterator[Access]:
-    """Zipf-popular page accesses (YCSB-style key lookups)."""
-    sampler = ZipfSampler(vma.n_pages, theta, rng)
-    ranks = sampler.sample_many(n)
-    # Scatter ranks over the region so popular pages are not contiguous.
-    permutation = rng.permutation(vma.n_pages)
-    writes = _write_flags(n, write_ratio, rng)
-    base = vma.start_vpn
-    for i in range(n):
-        yield (base + int(permutation[ranks[i]]), writes[i], cpu_us)
+    """Scalar view of :func:`zipfian_batches`."""
+    return flatten_batches(zipfian_batches(vma, n, rng, theta, write_ratio, cpu_us))
 
 
 def uniform_random(
@@ -87,11 +214,39 @@ def uniform_random(
     write_ratio: float = 0.0,
     cpu_us: float = 0.05,
 ) -> Iterator[Access]:
-    offsets = rng.integers(0, vma.n_pages, size=n)
-    writes = _write_flags(n, write_ratio, rng)
-    base = vma.start_vpn
-    for i in range(n):
-        yield (base + int(offsets[i]), writes[i], cpu_us)
+    """Scalar view of :func:`uniform_random_batches`."""
+    return flatten_batches(uniform_random_batches(vma, n, rng, write_ratio, cpu_us))
+
+
+def pointer_chase(
+    chain: Sequence[int],
+    n: int,
+    write_ratio: float = 0.0,
+    cpu_us: float = 0.15,
+    start_index: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Access]:
+    """Scalar view of :func:`pointer_chase_batches`."""
+    return flatten_batches(
+        pointer_chase_batches(chain, n, write_ratio, cpu_us, start_index, rng)
+    )
+
+
+def gc_bursts(
+    chain: Sequence[int],
+    n_bursts: int,
+    burst_len: int,
+    idle_cpu_us: float = 400.0,
+    cpu_us: float = 0.05,
+    rng: Optional[np.random.Generator] = None,
+) -> Iterator[Access]:
+    """Scalar view of :func:`gc_bursts_batches`."""
+    return flatten_batches(
+        gc_bursts_batches(chain, n_bursts, burst_len, idle_cpu_us, cpu_us, rng)
+    )
+
+
+# -- chains and interleaving ----------------------------------------------
 
 
 def shuffled_chain(vma: VMA, rng: np.random.Generator) -> List[int]:
@@ -127,50 +282,6 @@ def grouped_chain(
         rng.shuffle(members)
         chain.extend(int(v) for v in members)
     return chain
-
-
-def pointer_chase(
-    chain: Sequence[int],
-    n: int,
-    write_ratio: float = 0.0,
-    cpu_us: float = 0.15,
-    start_index: int = 0,
-    rng: Optional[np.random.Generator] = None,
-) -> Iterator[Access]:
-    """Follow a fixed pointer chain repeatedly.
-
-    The chain is deterministic (the heap's object graph does not change
-    between traversals), which is exactly why reference-graph prefetching
-    works on it while stride detectors see noise.
-    """
-    writes = _write_flags(n, write_ratio, rng)
-    span = len(chain)
-    for i in range(n):
-        yield (chain[(start_index + i) % span], writes[i], cpu_us)
-
-
-def gc_bursts(
-    chain: Sequence[int],
-    n_bursts: int,
-    burst_len: int,
-    idle_cpu_us: float = 400.0,
-    cpu_us: float = 0.05,
-    rng: Optional[np.random.Generator] = None,
-) -> Iterator[Access]:
-    """A GC thread: long compute pauses, then a burst of graph traversal.
-
-    The first access of each burst carries the accumulated idle CPU so the
-    thread occupies a core between collections without generating events.
-    """
-    span = len(chain)
-    position = 0
-    for burst in range(n_bursts):
-        if rng is not None:
-            position = int(rng.integers(0, span))
-        for i in range(burst_len):
-            cost = idle_cpu_us if i == 0 else cpu_us
-            yield (chain[(position + i) % span], False, cost)
-        position += burst_len
 
 
 def interleave(

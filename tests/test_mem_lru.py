@@ -145,3 +145,78 @@ def test_len_and_contains():
     lru.insert(page)
     assert page in lru
     assert len(lru) == 1
+
+
+def test_select_victim_rotates_all_referenced_tail_pages():
+    """An all-referenced inactive list is aged one full rotation: every
+    page loses its referenced bit, then the original tail is evicted."""
+    lru = ActiveInactiveLRU()
+    pages = make_pages(3)
+    for page in pages:
+        lru.insert(page)
+        page.referenced = True
+    victim = lru.select_victim()
+    assert victim is pages[0]
+    assert all(not page.referenced for page in pages)
+    # The survivors kept their relative order through the rotation.
+    assert list(lru.inactive) == [pages[1], pages[2]]
+
+
+def test_select_victim_rotation_preserves_scan_order():
+    lru = ActiveInactiveLRU()
+    pages = make_pages(4)
+    for page in pages:
+        lru.insert(page)
+    pages[0].referenced = True
+    pages[1].referenced = True
+    victim = lru.select_victim()
+    assert victim is pages[2]
+    # Both rotated pages moved to the head, oldest rotated first.
+    assert list(lru.inactive) == [pages[3], pages[0], pages[1]]
+
+
+def test_select_victim_empty_lru_returns_none():
+    lru = ActiveInactiveLRU()
+    assert lru.select_victim() is None
+    assert len(lru) == 0
+
+
+def test_balance_on_empty_lists_is_noop():
+    lru = ActiveInactiveLRU()
+    assert lru.balance() == 0
+    assert lru.balance(1.0) == 0
+    assert len(lru.active) == 0 and len(lru.inactive) == 0
+
+
+def test_balance_with_all_pages_inactive_demotes_nothing():
+    lru = ActiveInactiveLRU()
+    pages = make_pages(3)
+    for page in pages:
+        lru.insert(page)
+    assert lru.balance(0.5) == 0
+    assert list(lru.inactive) == pages
+
+
+def test_balance_exhausts_active_list_without_spinning():
+    """A target the active list cannot satisfy stops at an empty list."""
+    lru = ActiveInactiveLRU()
+    pages = make_pages(2)
+    for page in pages:
+        lru.insert(page)
+        lru.note_access(page)  # all active
+    demoted = lru.balance(1.0)
+    assert demoted == 2
+    assert len(lru.active) == 0
+    assert len(lru.inactive) == 2
+
+
+def test_balance_clears_referenced_bit_on_demotion():
+    lru = ActiveInactiveLRU()
+    pages = make_pages(2)
+    for page in pages:
+        lru.insert(page)
+        lru.note_access(page)
+        page.referenced = True
+    lru.balance(0.5)
+    demoted = lru.inactive.peek_tail()
+    assert demoted is not None and not demoted.referenced

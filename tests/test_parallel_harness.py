@@ -18,6 +18,7 @@ from repro.harness import (
     default_disk_cache,
     default_worker_count,
     job_key,
+    result_digest,
     run_experiment,
     run_experiments_parallel,
 )
@@ -180,3 +181,47 @@ def test_parallel_workers_share_disk_cache(cache_dir):
     warm = run_experiments_parallel(jobs, max_workers=1)
     assert CACHE_STATS.disk_hits == 2 and CACHE_STATS.misses == 0
     assert warm[0].completion_time("snappy") > 0
+
+
+# -- determinism: batched vs scalar stream protocol ---------------------
+
+
+def test_result_digest_stable_and_sensitive():
+    result = run_experiment(GROUP, tiny())
+    again = run_experiment(GROUP, tiny())
+    assert result_digest(result) == result_digest(again)
+    other = run_experiment(GROUP, tiny(seed=1))
+    assert result_digest(result) != result_digest(other)
+    # The digest must survive a pickle/process boundary unchanged.
+    shipped = pickle.loads(pickle.dumps(result))
+    assert result_digest(shipped) == result_digest(result)
+
+
+@pytest.mark.parametrize("system", ["linux", "canvas"])
+def test_batched_streams_bit_identical_to_scalar(system):
+    """The resident fast path may not change a single simulated number.
+
+    A co-run that mixes native batched producers (memcached, spark_lr,
+    neo4j) with the chunk_stream fallback (snappy) must produce the same
+    digest with batching on and off.
+    """
+    corun = ["snappy", "memcached", "spark_lr", "neo4j"]
+    batched = run_experiment(corun, tiny(system, batched_streams=True))
+    scalar = run_experiment(corun, tiny(system, batched_streams=False))
+    assert_same_result(batched, scalar)
+    assert result_digest(batched) == result_digest(scalar)
+
+
+def test_batched_digest_unaffected_by_profiler():
+    config = tiny("canvas")
+    from repro.metrics import SimProfiler
+
+    profiler = SimProfiler()
+    plain = run_experiment(GROUP, config)
+    profiled = run_experiment(GROUP, tiny("canvas"), profiler=profiler)
+    assert result_digest(plain) == result_digest(profiled)
+    assert profiler.runs == 1
+    assert profiler.wall_seconds > 0
+    assert profiler.accesses == sum(
+        profiled.results[name].stats.accesses for name in GROUP
+    )

@@ -1,0 +1,127 @@
+"""The batched stream protocol: equivalence with the scalar protocol.
+
+The contract (see ``repro.workloads.batch``): for every workload,
+flattening ``thread_batch_streams`` must reproduce ``thread_streams``
+exactly — same VPNs, same write flags, same per-access CPU, same RNG
+draw order — because the simulated results must be bit-identical
+whichever protocol drives the threads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernel import AppContext, CgroupConfig
+from repro.sim import Engine
+from repro.workloads import WORKLOADS, make_workload
+from repro.workloads.base import Workload
+from repro.workloads.batch import (
+    AccessBatch,
+    chunk_stream,
+    emit_batches,
+    flatten_batches,
+)
+
+
+def build_app(workload):
+    app = AppContext(
+        Engine(),
+        CgroupConfig(name=workload.name, n_cores=4, local_memory_pages=4096),
+    )
+    workload.build(app, np.random.default_rng(0))
+    return app
+
+
+# -- AccessBatch ---------------------------------------------------------
+
+
+def test_emit_batches_slices_and_broadcasts():
+    batches = list(emit_batches(np.arange(10), False, 1.5, batch_size=4))
+    assert [len(b) for b in batches] == [4, 4, 2]
+    assert batches[0].vpn_list == [0, 1, 2, 3]
+    assert batches[2].vpn_list == [8, 9]
+    assert batches[0].write_list == [False] * 4
+    assert batches[0].cpu_list == [1.5] * 4
+
+
+def test_constant_cpu_detected_and_cached():
+    (batch,) = emit_batches(np.arange(4), False, 2.0, batch_size=8)
+    assert batch.constant_cpu == 2.0
+    varying = AccessBatch.from_lists([1, 2], [False, True], [1.0, 2.0])
+    assert varying.constant_cpu is None
+    uniform = AccessBatch.from_lists([1, 2], [False, True], [3.0, 3.0])
+    assert uniform.constant_cpu == 3.0
+
+
+def test_write_positions():
+    writes = np.array([False, True, False, True, True])
+    (batch,) = emit_batches(np.arange(5), writes, 1.0, batch_size=8)
+    assert batch.write_positions == [1, 3, 4]
+    from_lists = AccessBatch.from_lists(
+        [0, 1, 2], [True, False, True], [1.0, 1.0, 1.0]
+    )
+    assert from_lists.write_positions == [0, 2]
+
+
+def test_chunk_stream_round_trip():
+    accesses = [(vpn, vpn % 3 == 0, 0.5 * vpn) for vpn in range(10)]
+    batches = list(chunk_stream(iter(accesses), batch_size=4))
+    assert [len(b) for b in batches] == [4, 4, 2]
+    assert list(flatten_batches(batches)) == [
+        (vpn, write, cpu) for vpn, write, cpu in accesses
+    ]
+
+
+# -- the dual-default Workload API ---------------------------------------
+
+
+def test_workload_base_requires_one_override():
+    class Neither(Workload):
+        name = "neither"
+        working_set_pages = 8
+        n_threads = 1
+
+        def build(self, app, rng):  # pragma: no cover - not reached
+            pass
+
+    workload = Neither.__new__(Neither)
+    with pytest.raises(NotImplementedError):
+        workload.thread_streams(None, None)
+    with pytest.raises(NotImplementedError):
+        workload.thread_batch_streams(None, None)
+
+
+def test_scalar_only_workload_gets_chunked_batches():
+    class ScalarOnly(Workload):
+        name = "scalar-only"
+        working_set_pages = 8
+        n_threads = 1
+
+        def build(self, app, rng):  # pragma: no cover - unused
+            pass
+
+        def thread_streams(self, app, rng):
+            return [iter([(1, False, 1.0), (2, True, 2.0)])]
+
+    (batches,) = ScalarOnly.__new__(ScalarOnly).thread_batch_streams(None, None)
+    accesses = [a for batch in batches for a in batch.accesses()]
+    assert accesses == [(1, False, 1.0), (2, True, 2.0)]
+
+
+# -- per-workload equivalence --------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_batched_streams_match_scalar_streams(name):
+    workload = make_workload(name, scale=0.1)
+    app = build_app(workload)
+    scalar_streams = workload.thread_streams(app, np.random.default_rng(1))
+    batch_streams = workload.thread_batch_streams(app, np.random.default_rng(1))
+    assert len(scalar_streams) == len(batch_streams) == workload.total_threads
+    for tid, (scalar, batches) in enumerate(zip(scalar_streams, batch_streams)):
+        flattened = flatten_batches(batches)
+        for k, (expected, got) in enumerate(zip(scalar, flattened)):
+            assert tuple(got) == tuple(expected), (
+                f"{name} thread {tid} access {k}: {got} != {expected}"
+            )
+        assert next(iter(scalar), None) is None, f"{name}: batched stream short"
+        assert next(iter(flattened), None) is None, f"{name}: batched stream long"
