@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Guard the harness micro-benchmarks against performance regressions.
+
+Usage::
+
+    python benchmarks/check_regression.py out1.json [out2.json ...]
+    python benchmarks/check_regression.py --update out1.json [...]
+
+Each ``outN.json`` is a ``pytest-benchmark --benchmark-json`` output.
+The script compares every guarded ``extra_info`` metric (throughput
+numbers — higher is better) against ``benchmarks/perf_baseline.json``
+and exits non-zero when a current value falls below
+``baseline * (1 - tolerance)``.
+
+Tolerances live in the baseline file per metric: ratio metrics such as
+``batched_speedup`` are machine-independent and use a tight bound,
+absolute rates (steps/s, accesses/s, faults/s) vary with runner
+hardware and get a loose one.  ``REPRO_PERF_TOLERANCE_SCALE`` multiplies
+every tolerance (e.g. ``2.0`` on a known-slow runner); ``--update``
+rewrites the baseline from the provided JSONs, keeping tolerances.
+
+Benchmarks present in the outputs but absent from the baseline are
+reported and ignored, so adding a benchmark never breaks CI until a
+baseline entry is recorded for it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+BASELINE_PATH = Path(__file__).resolve().parent / "perf_baseline.json"
+
+
+def load_results(paths: list[str]) -> dict[str, dict[str, float]]:
+    """name -> extra_info metrics, merged across the given JSON files."""
+    merged: dict[str, dict[str, float]] = {}
+    for path in paths:
+        with open(path) as handle:
+            data = json.load(handle)
+        for bench in data.get("benchmarks", []):
+            info = {
+                key: value
+                for key, value in bench.get("extra_info", {}).items()
+                if isinstance(value, (int, float))
+            }
+            merged.setdefault(bench["name"], {}).update(info)
+    return merged
+
+
+def update_baseline(results: dict[str, dict[str, float]]) -> None:
+    baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+    for name, metrics in results.items():
+        entries = baseline.setdefault(name, {})
+        for metric, entry in entries.items():
+            if metric in metrics:
+                entry["value"] = metrics[metric]
+    BASELINE_PATH.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
+    print(f"baseline updated: {BASELINE_PATH}")
+
+
+def check(results: dict[str, dict[str, float]]) -> int:
+    baseline = json.loads(BASELINE_PATH.read_text())
+    scale = float(os.environ.get("REPRO_PERF_TOLERANCE_SCALE", "1.0"))
+    failures = 0
+    for name in sorted(results):
+        guarded = baseline.get(name)
+        if guarded is None:
+            print(f"  (no baseline for {name}; skipped)")
+            continue
+        for metric, entry in sorted(guarded.items()):
+            current = results[name].get(metric)
+            if current is None:
+                print(f"FAIL {name}.{metric}: missing from benchmark output")
+                failures += 1
+                continue
+            tolerance = min(0.95, entry["tolerance"] * scale)
+            floor = entry["value"] * (1.0 - tolerance)
+            verdict = "ok" if current >= floor else "FAIL"
+            print(
+                f"{verdict:>4} {name}.{metric}: {current:.1f} "
+                f"(baseline {entry['value']:.1f}, floor {floor:.1f})"
+            )
+            if current < floor:
+                failures += 1
+    if failures:
+        print(f"{failures} metric(s) regressed past tolerance")
+    else:
+        print("all guarded metrics within tolerance")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    update = "--update" in argv
+    paths = [a for a in argv if a != "--update"]
+    if not paths:
+        print(__doc__)
+        return 2
+    results = load_results(paths)
+    if update:
+        update_baseline(results)
+        return 0
+    return check(results)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -39,7 +39,7 @@ from repro.prefetch.base import Prefetcher
 from repro.prefetch.readahead import KernelReadahead
 from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
 from repro.rdma.nic import RNIC
-from repro.sim.engine import Engine
+from repro.sim.engine import DEBUG_EVENT_NAMES, Engine, Event
 from repro.swap.allocator import EntryAllocator, FreeListAllocator
 from repro.swap.entry import SwapEntry
 from repro.swap.partition import SwapPartition
@@ -315,7 +315,7 @@ class CanvasSwapSystem(BaseSwapSystem):
             # for too long and generate new demand requests for them" —
             # wait only until the request turns stale, then drop it.
             index, _value = yield self.engine.any_of(
-                [event, self.engine.timeout(threshold - elapsed)]
+                [event, self.engine.sleep(threshold - elapsed)]
             )
             if index == 0 or event.fired:
                 return
@@ -337,24 +337,19 @@ class CanvasSwapSystem(BaseSwapSystem):
         request.dropped = True  # still-queued copy is skipped
         page.prefetch_timestamp_us = None
         request.entry.timestamp_us = None
-        new_event = self.engine.event(f"reissue.{app.name}.{page.vpn:#x}")
+        new_event = Event(
+            self.engine,
+            f"reissue.{app.name}.{page.vpn:#x}" if DEBUG_EVENT_NAMES else "",
+        )
         self._inflight[page] = new_event
         # Wake any co-waiters parked on the old event; they re-evaluate
         # and block on the new demand read.
         if not old_event.fired:
             old_event.succeed()
-        demand = RdmaRequest(
-            RdmaOp.READ,
-            RequestKind.DEMAND,
-            app.name,
-            request.entry,
-            page,
-            completion=self.engine.event(),
+        demand = self._acquire_request(
+            RdmaOp.READ, RequestKind.DEMAND, app.name, request.entry, page
         )
         self._inflight_req[page] = demand
-        demand.completion.add_callback(
-            lambda _evt, req=demand: self._on_read_complete(app, req)
-        )
         self._submit_read(app, demand)
         yield new_event
 

@@ -104,6 +104,9 @@ class TwoDimensionalScheduler:
         self._forward_time: Dict[int, float] = {}
         self._read_kick: Optional[Event] = None
         self._write_kick: Optional[Event] = None
+        #: Reusable park events for the two forwarding loops.
+        self._read_park = Event(engine, f"{name}.read.kick")
+        self._write_park = Event(engine, f"{name}.write.kick")
         self.demand_qp = nic.create_qp(f"{name}.demand", RdmaOp.READ, priority=0)
         self.prefetch_qp = nic.create_qp(f"{name}.prefetch", RdmaOp.READ, priority=1)
         self.write_qp = nic.create_qp(f"{name}.write", RdmaOp.WRITE, priority=0)
@@ -186,6 +189,10 @@ class TwoDimensionalScheduler:
                 self.stats.prefetches_dropped += 1
                 if self.drop_callback is not None:
                     self.drop_callback(prefetch)
+                if prefetch.owner is not None:
+                    # Dropped before forwarding: it will never reach the
+                    # NIC, so recycle once the unwind has been dispatched.
+                    self.engine._immediate.append(prefetch._recycle_cb)
                 continue
             return prefetch
 
@@ -277,16 +284,18 @@ class TwoDimensionalScheduler:
             self.nic.submit(self.write_qp, request)
 
     def _wait_read(self) -> Generator:
-        event = self.engine.event(f"{self.name}.read.kick")
+        event = self._read_park
         self._read_kick = event
         yield event
         self._read_kick = None
+        event.reset()
 
     def _wait_write(self) -> Generator:
-        event = self.engine.event(f"{self.name}.write.kick")
+        event = self._write_park
         self._write_kick = event
         yield event
         self._write_kick = None
+        event.reset()
 
     # -- completion hook ----------------------------------------------------
 

@@ -33,7 +33,7 @@ from repro.mem.page import Page
 from repro.prefetch.base import Prefetcher
 from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
 from repro.rdma.nic import RNIC, PhysicalQP
-from repro.sim.engine import Engine, Event
+from repro.sim.engine import DEBUG_EVENT_NAMES, Engine, Event
 from repro.swap.allocator import EntryAllocator, FreeListAllocator
 from repro.swap.entry import SwapEntry
 from repro.swap.partition import SwapPartition
@@ -100,6 +100,12 @@ class BaseSwapSystem:
         self._inflight: Dict[Page, Event] = {}
         self._inflight_req: Dict[Page, RdmaRequest] = {}
         self._kswapd_kick: Dict[str, Optional[Event]] = {}
+        #: Reusable kswapd park event per app (reset after each wakeup).
+        self._kswapd_park: Dict[str, Event] = {}
+        #: Free list of recycled RdmaRequests (and their completion
+        #: events); refilled via the engine's immediate lane strictly
+        #: after each completion dispatch or dropped-request unwind.
+        self._request_pool: List[RdmaRequest] = []
         #: Writebacks in flight per app; kswapd throttles on this so slow
         #: write paths cannot pin every frame in unfinished writebacks.
         self._outstanding_writebacks: Dict[str, int] = {}
@@ -133,6 +139,45 @@ class BaseSwapSystem:
 
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Request pooling
+    # ------------------------------------------------------------------
+
+    def _acquire_request(
+        self,
+        op: RdmaOp,
+        kind: RequestKind,
+        app_name: str,
+        entry: SwapEntry,
+        page: Page,
+    ) -> RdmaRequest:
+        """A pooled request with its completion event armed for dispatch.
+
+        The request object itself is the completion callback (bound
+        dispatch, no per-request lambda); it occupies the same callback
+        slot the old closure did, so waiters subscribing later still run
+        after the kernel-side completion handler.
+        """
+        pool = self._request_pool
+        if pool:
+            request = pool.pop()
+            request.reuse(op, kind, app_name, entry, page)
+        else:
+            request = RdmaRequest(
+                op, kind, app_name, entry, page, completion=Event(self.engine)
+            )
+            request.owner = self
+        request.completion.add_callback(request)
+        return request
+
+    def _request_completed(self, request: RdmaRequest) -> None:
+        """Bound completion dispatch (invoked via ``request.__call__``)."""
+        app = self.apps[request.app_name]
+        if request.op is RdmaOp.WRITE:
+            self._on_writeback_complete(app, request)
+        else:
+            self._on_read_complete(app, request)
 
     def _alloc_entry(
         self, app: AppContext, page: Page, core_id: int
@@ -206,6 +251,7 @@ class BaseSwapSystem:
         self.apps[app.name] = app
         self._setup_app(app)
         self._kswapd_kick[app.name] = None
+        self._kswapd_park[app.name] = Event(self.engine, f"kswapd.{app.name}.kick")
         self.engine.spawn(self._kswapd_loop(app), name=f"kswapd.{app.name}")
 
     def prepopulate(self, app: AppContext, resident_fraction: float) -> None:
@@ -369,43 +415,84 @@ class BaseSwapSystem:
         """Profiling twin of :meth:`consume_batch`: identical returns and
         side effects, but classification/clock advance and LRU/page
         maintenance run as separate timed passes so the profiler can
-        attribute them individually."""
+        attribute them individually.  Both passes mirror the unprofiled
+        path's code shape — including the ``constant_cpu`` precompute and
+        the inlined active-LRU refresh — so profiled runs measure (and
+        produce) what unprofiled runs do.
+        """
         from time import perf_counter
 
         t0 = perf_counter()
         vpn_list = batch.vpn_list
-        write_list = batch.write_list
-        cpu_list = batch.cpu_list
         resident = app.space.resident_map
         n = len(vpn_list)
+        end = n
         outcome = BATCH_END
-        i = start
-        while i < n:
-            if not resident[vpn_list[i]]:
-                pending_cpu += cpu_list[i]
+        cpu = batch.constant_cpu
+        # Pass 1 (timed as fast_path): classification and CPU
+        # accumulation, with the exact float-add sequence of
+        # consume_batch so pending_cpu stays bit-identical.
+        if cpu is not None:
+            steps = 0
+            remaining = n - start
+            tmp = pending_cpu
+            while steps < remaining:
+                tmp += cpu
+                steps += 1
+                if tmp >= flush_us:
+                    end = start + steps
+                    outcome = BATCH_FLUSH
+                    break
+            fault_vpn = -1
+            for vpn in vpn_list[start : start + steps]:
+                if resident[vpn] is None:
+                    fault_vpn = vpn
+                    break
+            if fault_vpn < 0:
+                pending_cpu = tmp
+            else:
+                end = vpn_list.index(fault_vpn, start)
                 outcome = BATCH_FAULT
-                break
-            pending_cpu += cpu_list[i]
-            i += 1
-            if pending_cpu >= flush_us:
-                outcome = BATCH_FLUSH
-                break
+                for _ in range(end - start + 1):
+                    pending_cpu += cpu
+        else:
+            cpu_list = batch.cpu_list
+            for i in range(start, n):
+                if resident[vpn_list[i]] is None:
+                    pending_cpu += cpu_list[i]
+                    end = i
+                    outcome = BATCH_FAULT
+                    break
+                pending_cpu += cpu_list[i]
+                if pending_cpu >= flush_us:
+                    end = i + 1
+                    outcome = BATCH_FLUSH
+                    break
         t1 = perf_counter()
         profiler.add("fast_path", t1 - t0)
-        # Side effects for the resident run [start, i).
-        pages = app.space.pages
+        # Pass 2 (timed as lru): page/LRU side effects for the resident
+        # run [start, end), same inlined refresh as consume_batch.
         note = app.lru.note_access
+        active = app.lru.active._pages
+        active_pop = active.pop
         now = self.engine.now
-        for k in range(start, i):
-            page = pages[vpn_list[k]]
+        for vpn in vpn_list[start:end]:
+            page = resident[vpn]
             page.referenced = True
             page.last_access_us = now
-            if write_list[k]:
-                page.dirty = True
-            note(page)
-        app.stats.accesses += (i - start) + (1 if outcome == BATCH_FAULT else 0)
+            try:
+                active[page] = active_pop(page)
+            except KeyError:
+                note(page)
+        writes = batch.write_positions
+        if writes:
+            for k in writes[bisect_left(writes, start):]:
+                if k >= end:
+                    break
+                resident[vpn_list[k]].dirty = True
+        app.stats.accesses += end - start + (1 if outcome == BATCH_FAULT else 0)
         profiler.add("lru", perf_counter() - t1)
-        return i, pending_cpu, outcome
+        return end, pending_cpu, outcome
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -420,7 +507,7 @@ class BaseSwapSystem:
         page = app.space.page(vpn)
         stats.faults += 1
         start = engine.now
-        yield engine.timeout(self.config.fault_overhead_us)
+        yield engine.sleep(self.config.fault_overhead_us)
 
         cache = self._cache_for(app, page)
         first_check = True
@@ -467,7 +554,7 @@ class BaseSwapSystem:
                 # flight: the data is local either way, so map it back in
                 # (the write completes harmlessly; Linux reuses swap-cache
                 # pages under writeback the same way).
-                yield engine.timeout(self.config.map_in_cost_us)
+                yield engine.sleep(self.config.map_in_cost_us)
                 if page.resident:
                     break  # another waiter mapped it during the timeout
                 if not page.in_swap_cache:
@@ -507,23 +594,17 @@ class BaseSwapSystem:
                 raise RuntimeError(
                     f"{app.name}: vpn {vpn:#x} non-resident without swap entry"
                 )
-            event = engine.event(f"read.{app.name}.{vpn:#x}")
+            event = Event(
+                engine, f"read.{app.name}.{vpn:#x}" if DEBUG_EVENT_NAMES else ""
+            )
             self._inflight[page] = event
             page.locked = True
             yield from self._charge_frames(app, 1, thread_id)
             cache.insert(entry, page, prefetched=False)
-            request = RdmaRequest(
-                RdmaOp.READ,
-                RequestKind.DEMAND,
-                app.name,
-                entry,
-                page,
-                completion=engine.event(),
+            request = self._acquire_request(
+                RdmaOp.READ, RequestKind.DEMAND, app.name, entry, page
             )
             self._inflight_req[page] = request
-            request.completion.add_callback(
-                lambda _evt, req=request: self._on_read_complete(app, req)
-            )
             # §5.3: a demand request clears the entry's prefetch timestamp
             # so later faulting threads block instead of re-issuing.
             entry.timestamp_us = None
@@ -628,23 +709,18 @@ class BaseSwapSystem:
                 if not app.pool.try_charge(1):
                     app.stats.prefetch_frames_denied += 1
                     break
-            event = self.engine.event(f"prefetch.{app.name}.{vpn:#x}")
+            event = Event(
+                self.engine,
+                f"prefetch.{app.name}.{vpn:#x}" if DEBUG_EVENT_NAMES else "",
+            )
             self._inflight[page] = event
             page.locked = True
             page.prefetch_timestamp_us = self.engine.now
             cache.insert(entry, page, prefetched=True)
-            request = RdmaRequest(
-                RdmaOp.READ,
-                RequestKind.PREFETCH,
-                app.name,
-                entry,
-                page,
-                completion=self.engine.event(),
+            request = self._acquire_request(
+                RdmaOp.READ, RequestKind.PREFETCH, app.name, entry, page
             )
             self._inflight_req[page] = request
-            request.completion.add_callback(
-                lambda _evt, req=request: self._on_read_complete(app, req)
-            )
             self._submit_read(app, request)
             issued += 1
             budget -= 1
@@ -682,7 +758,7 @@ class BaseSwapSystem:
                 if self._outstanding_writebacks.get(app.name, 0) > 0:
                     # Every frame is pinned by an in-flight writeback:
                     # congestion-wait for completions, then retry.
-                    yield self.engine.timeout(20.0)
+                    yield self.engine.sleep(20.0)
                     continue
                 raise RuntimeError(f"{app.name}: out of memory, nothing evictable")
         if app.pool.above_low_watermark:
@@ -713,25 +789,20 @@ class BaseSwapSystem:
         # page must be protected *before* the (possibly lock-waiting)
         # allocation: a racing fault parks on the in-flight event.
         victim.locked = True
-        event = self.engine.event(f"writeback.{app.name}.{victim.vpn:#x}")
+        event = Event(
+            self.engine,
+            f"writeback.{app.name}.{victim.vpn:#x}" if DEBUG_EVENT_NAMES else "",
+        )
         self._inflight[victim] = event
         entry = yield from self._obtain_writeback_entry(app, victim, core_id)
         entry.stored_vpn = victim.vpn
         victim.swap_entry = entry
         victim.dirty = True  # data must travel
         cache.insert(entry, victim, prefetched=False)
-        request = RdmaRequest(
-            RdmaOp.WRITE,
-            RequestKind.SWAPOUT,
-            app.name,
-            entry,
-            victim,
-            completion=self.engine.event(),
+        request = self._acquire_request(
+            RdmaOp.WRITE, RequestKind.SWAPOUT, app.name, entry, victim
         )
         self._inflight_req[victim] = request
-        request.completion.add_callback(
-            lambda _evt, req=request: self._on_writeback_complete(app, req)
-        )
         self._outstanding_writebacks[app.name] = (
             self._outstanding_writebacks.get(app.name, 0) + 1
         )
@@ -802,12 +873,13 @@ class BaseSwapSystem:
             event.succeed()
 
     def _kswapd_loop(self, app: AppContext) -> Generator:
+        park = self._kswapd_park[app.name]
         while True:
             if app.pool.reclaim_target() <= 0:
-                event = self.engine.event(f"kswapd.{app.name}.kick")
-                self._kswapd_kick[app.name] = event
-                yield event
+                self._kswapd_kick[app.name] = park
+                yield park
                 self._kswapd_kick[app.name] = None
+                park.reset()
                 continue
             # Scale the batch with backlog (kswapd raises its scan
             # priority under pressure) but keep it small enough that the
@@ -816,7 +888,7 @@ class BaseSwapSystem:
             outstanding = self._outstanding_writebacks.get(app.name, 0)
             writeback_cap = max(8, app.pool.capacity_pages // 8)
             if outstanding >= writeback_cap:
-                yield self.engine.timeout(10.0)
+                yield self.engine.sleep(10.0)
                 continue
             target = app.pool.reclaim_target()
             batch = min(4 * self.config.kswapd_batch, max(self.config.kswapd_batch, target // 4))
@@ -829,7 +901,7 @@ class BaseSwapSystem:
                 yield from self._evict_one(app, 0, wait_writeback=False)
             # Writebacks issued; give completions a chance to land before
             # the next round so the target reflects reality.
-            yield self.engine.timeout(8.0)
+            yield self.engine.sleep(8.0)
 
 
 class LinuxSwapSystem(BaseSwapSystem):

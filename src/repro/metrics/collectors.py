@@ -29,6 +29,9 @@ class Histogram:
         self.max_samples = max_samples
         self._samples: List[float] = []
         self._sorted: Optional[np.ndarray] = None
+        #: Memoized percentile queries; hot paths (the scheduler's
+        #: timeliness threshold) ask for the same q between samples.
+        self._pcache: Dict[float, float] = {}
         self.count = 0
         self.total = 0.0
         self.max_value = -math.inf
@@ -44,9 +47,11 @@ class Histogram:
         if len(self._samples) < self.max_samples:
             self._samples.append(value)
             self._sorted = None
+            self._pcache.clear()
         elif self.count % 2 == 0:  # thin deterministically once full
             self._samples[self.count % self.max_samples] = value
             self._sorted = None
+            self._pcache.clear()
 
     def extend(self, values: Iterable[float]) -> None:
         for value in values:
@@ -67,7 +72,11 @@ class Histogram:
         """q in [0, 100]."""
         if not self._samples:
             return 0.0
-        return float(np.percentile(self._ensure_sorted(), q))
+        cached = self._pcache.get(q)
+        if cached is None:
+            cached = float(np.percentile(self._ensure_sorted(), q))
+            self._pcache[q] = cached
+        return cached
 
     def cdf(self, points: Optional[Sequence[float]] = None) -> List[Tuple[float, float]]:
         """(value, P[X <= value]) pairs, at sample values or given points."""

@@ -63,9 +63,41 @@ class LeapPrefetcher(Prefetcher):
         self._histories: Dict[str, Deque[int]] = {}
         self._prev_vpn: Dict[str, int] = {}
         self._window: Dict[str, int] = {}
+        #: Incremental Boyer-Moore state per history key: per-delta
+        #: tallies over the window plus the current strict-majority
+        #: element (or None).  Maintained as deltas enter/leave the
+        #: window, so ``on_fault`` never rescans the history.
+        self._counts: Dict[str, Dict[int, int]] = {}
+        self._majority: Dict[str, Optional[int]] = {}
 
     def _key(self, app_name: str) -> str:
         return app_name if self.per_app_history else "__global__"
+
+    def _push_delta(self, key: str, history: Deque[int], delta: int) -> None:
+        """Slide ``delta`` into the window, updating tallies and majority.
+
+        After one slide the only candidates for strict majority are the
+        delta just added (the only count that grew) and the previous
+        majority (everything else was already at or below half and did
+        not gain), so the update is O(1).
+        """
+        counts = self._counts.setdefault(key, {})
+        if len(history) == history.maxlen:
+            evicted = history[0]
+            remaining = counts[evicted] - 1
+            if remaining:
+                counts[evicted] = remaining
+            else:
+                del counts[evicted]
+        history.append(delta)
+        counts[delta] = counts.get(delta, 0) + 1
+        n = len(history)
+        if counts[delta] * 2 > n:
+            self._majority[key] = delta
+        else:
+            majority = self._majority.get(key)
+            if majority is not None and counts.get(majority, 0) * 2 <= n:
+                self._majority[key] = None
 
     def on_fault(
         self,
@@ -81,10 +113,10 @@ class LeapPrefetcher(Prefetcher):
         prev = self._prev_vpn.get(key)
         self._prev_vpn[key] = vpn
         if prev is not None:
-            history.append(vpn - prev)
+            self._push_delta(key, history, vpn - prev)
 
         window = self._window.get(key, self.min_window)
-        trend = majority_vote(list(history)) if len(history) >= 4 else None
+        trend = self._majority.get(key) if len(history) >= 4 else None
         if trend is not None and trend != 0:
             window = min(self.max_window, max(self.min_window, window * 2))
             self._window[key] = window

@@ -53,6 +53,9 @@ class RdmaRequest:
         "completed_at_us",
         "completion",
         "dropped",
+        "owner",
+        "_recycle_cb",
+        "_in_pool",
     )
 
     def __init__(
@@ -79,6 +82,66 @@ class RdmaRequest:
         self.completion: Optional["Event"] = completion
         #: Canvas §5.3: stale prefetches are dropped instead of served.
         self.dropped = False
+        #: The swap system this request belongs to, when it participates
+        #: in request pooling; None for standalone requests (tests).
+        self.owner = None
+        self._recycle_cb = self._recycle
+        self._in_pool = False
+
+    def __call__(self, _event: "Event") -> None:
+        """Completion-event callback: dispatch to the owning swap system.
+
+        Registering the request object itself keeps the exact callback
+        slot the old per-request lambda occupied, without the closure.
+        """
+        self.owner._request_completed(self)
+
+    def reuse(
+        self,
+        op: RdmaOp,
+        kind: RequestKind,
+        app_name: str,
+        entry: "SwapEntry",
+        page: Optional["Page"],
+    ) -> None:
+        """Re-arm a pooled request for a new transfer.
+
+        A *fresh* ``request_id`` is assigned on every reuse: schedulers
+        key in-flight bookkeeping (e.g. forward timestamps) by id, so id
+        reuse would alias a past life of the object.
+        """
+        self.request_id = next(_request_ids)
+        self.op = op
+        self.kind = kind
+        self.app_name = app_name
+        self.entry = entry
+        self.page = page
+        self.size_bytes = PAGE_SIZE
+        self.enqueued_at_us = None
+        self.issued_at_us = None
+        self.completed_at_us = None
+        self.dropped = False
+        self._in_pool = False
+
+    def _recycle(self) -> None:
+        """Return this request (and its completion event) to the pool.
+
+        Scheduled on the engine's immediate lane strictly after the
+        completion dispatch (or after the dropped-request unwind), so no
+        live waiter can still observe the recycled state.
+        """
+        if self._in_pool:
+            return
+        self._in_pool = True
+        self.entry = None
+        self.page = None
+        if self.completion._fired:
+            self.completion.reset()
+        else:
+            # A dropped request never fired its completion; clear the
+            # bound-dispatch callback so the next life starts clean.
+            self.completion._callbacks.clear()
+        self.owner._request_pool.append(self)
 
     @property
     def latency_us(self) -> Optional[float]:
@@ -88,7 +151,8 @@ class RdmaRequest:
         return self.completed_at_us - self.enqueued_at_us
 
     def __repr__(self) -> str:  # pragma: no cover
+        entry_id = self.entry.entry_id if self.entry is not None else None
         return (
             f"RdmaRequest(#{self.request_id}, {self.op.value}/{self.kind.value}, "
-            f"app={self.app_name!r}, entry={self.entry.entry_id})"
+            f"app={self.app_name!r}, entry={entry_id})"
         )

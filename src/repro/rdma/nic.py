@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Deque, Dict, List, Optional
 
-from repro.rdma.message import RdmaOp, RdmaRequest
+from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
 from repro.sim.engine import Engine, Event
 
 __all__ = ["DirectionalChannel", "PhysicalQP", "RNIC", "NicStats"]
@@ -97,6 +97,11 @@ class NicStats:
     read_bytes: int = 0
     write_bytes: int = 0
     dropped_skipped: int = 0
+    #: Completion mix by request kind (demand/prefetch reads, swap-out
+    #: writes); lets benchmarks report the served mix without hooks.
+    demand_completed: int = 0
+    prefetch_completed: int = 0
+    swapout_completed: int = 0
 
 
 class RNIC:
@@ -122,9 +127,21 @@ class RNIC:
         #: completion callbacks are attributed to the "rdma" section.
         self.profiler = None
         self._qps: Dict[RdmaOp, List[PhysicalQP]] = {RdmaOp.READ: [], RdmaOp.WRITE: []}
+        #: Priority-group dispatch tables: per op, the QPs grouped by
+        #: priority level (ascending), precomputed at create_qp time so
+        #: ``_select`` never regroups the sorted list per call.
+        self._groups: Dict[RdmaOp, List[List[PhysicalQP]]] = {
+            RdmaOp.READ: [],
+            RdmaOp.WRITE: [],
+        }
         self._rr_cursor: Dict[RdmaOp, int] = {RdmaOp.READ: 0, RdmaOp.WRITE: 0}
         self._dispatch_idle: Dict[RdmaOp, bool] = {RdmaOp.READ: True, RdmaOp.WRITE: True}
         self._wakeups: Dict[RdmaOp, Optional[Event]] = {RdmaOp.READ: None, RdmaOp.WRITE: None}
+        #: One reusable park event per dispatch loop (reset after resume).
+        self._park_events: Dict[RdmaOp, Event] = {
+            op: Event(engine, f"{name}.{op.value}.wakeup")
+            for op in (RdmaOp.READ, RdmaOp.WRITE)
+        }
         #: Observers called as fn(request) on every completion.
         self.completion_hooks: List[Callable[[RdmaRequest], None]] = []
         #: Observers called when a dropped request is skipped at dispatch
@@ -137,8 +154,18 @@ class RNIC:
 
     def create_qp(self, name: str, op: RdmaOp, priority: int = 0) -> PhysicalQP:
         qp = PhysicalQP(name, priority)
-        self._qps[op].append(qp)
-        self._qps[op].sort(key=lambda q: q.priority)
+        qps = self._qps[op]
+        qps.append(qp)
+        qps.sort(key=lambda q: q.priority)
+        # Rebuild the dispatch table (cold path; sort is stable, so
+        # within-level order is creation order, as _select always saw).
+        groups: List[List[PhysicalQP]] = []
+        for queue in qps:
+            if groups and groups[-1][0].priority == queue.priority:
+                groups[-1].append(queue)
+            else:
+                groups.append([queue])
+        self._groups[op] = groups
         return qp
 
     def submit(self, qp: PhysicalQP, request: RdmaRequest) -> None:
@@ -157,27 +184,28 @@ class RNIC:
 
     def _select(self, op: RdmaOp) -> Optional[RdmaRequest]:
         """Strict priority across QPs, round-robin within a priority level."""
-        qps = self._qps[op]
-        if not qps:
-            return None
-        # Group by priority (list is sorted).
-        index = 0
-        while index < len(qps):
-            level = qps[index].priority
-            group = []
-            while index < len(qps) and qps[index].priority == level:
-                group.append(qps[index])
-                index += 1
-            nonempty = [qp for qp in group if len(qp)]
+        rr_cursor = self._rr_cursor
+        for group in self._groups[op]:
+            if len(group) == 1:
+                queue = group[0]._queue
+                if queue:
+                    # Same cursor arithmetic the general path applies to a
+                    # one-element nonempty list: cursor 0 is used, then 1.
+                    rr_cursor[op] = 1
+                    return queue.popleft()
+                continue
+            nonempty = [qp for qp in group if qp._queue]
             if not nonempty:
                 continue
-            cursor = self._rr_cursor[op] % len(nonempty)
-            self._rr_cursor[op] = cursor + 1
-            return nonempty[cursor].pop()
+            cursor = rr_cursor[op] % len(nonempty)
+            rr_cursor[op] = cursor + 1
+            return nonempty[cursor]._queue.popleft()
         return None
 
     def _dispatch_loop(self, op: RdmaOp):
+        engine = self.engine
         channel = self.read_channel if op is RdmaOp.READ else self.write_channel
+        park = self._park_events[op]
         while True:
             if self.profiler is not None:
                 t0 = perf_counter()
@@ -186,26 +214,31 @@ class RNIC:
             else:
                 request = self._select(op)
             if request is None:
-                wakeup = self.engine.event(f"{self.name}.{op.value}.wakeup")
-                self._wakeups[op] = wakeup
-                yield wakeup
+                self._wakeups[op] = park
+                yield park
                 self._wakeups[op] = None
+                park.reset()
                 continue
             if request.dropped:
                 self.stats.dropped_skipped += 1
                 for hook in self.dropped_hooks:
                     hook(request)
+                if request.owner is not None:
+                    # Pooled request that will never complete: recycle it
+                    # after the hooks' unwind has been dispatched.
+                    engine._immediate.append(request._recycle_cb)
                 continue
-            request.issued_at_us = self.engine.now
             # Verb processing on the NIC, then the wire, then propagation.
-            yield self.engine.timeout(self.verb_overhead_us)
-            release = channel.reserve(self.engine.now, request.size_bytes)
-            wire_wait = release - self.engine.now
-            yield self.engine.timeout(wire_wait)
+            # One pooled sleep covers verb + wire: the wire slot is
+            # reserved up front for the instant the verb would have hit
+            # it, so the release time is exactly the two-stage path's.
+            now = engine.now
+            request.issued_at_us = now
+            release = channel.reserve(now + self.verb_overhead_us, request.size_bytes)
+            yield engine.sleep(release - now)
             # Propagation is pipelined: schedule completion off-loop.
-            self.engine.call_after(
-                self.base_latency_us, lambda req=request: self._complete(req)
-            )
+            # The request rides in the scheduling entry — no closure.
+            engine.call_after(self.base_latency_us, self._complete, request)
 
     def _complete(self, request: RdmaRequest) -> None:
         if self.profiler is not None:
@@ -217,13 +250,25 @@ class RNIC:
 
     def _complete_inner(self, request: RdmaRequest) -> None:
         request.completed_at_us = self.engine.now
+        stats = self.stats
         if request.op is RdmaOp.READ:
-            self.stats.reads_completed += 1
-            self.stats.read_bytes += request.size_bytes
+            stats.reads_completed += 1
+            stats.read_bytes += request.size_bytes
         else:
-            self.stats.writes_completed += 1
-            self.stats.write_bytes += request.size_bytes
+            stats.writes_completed += 1
+            stats.write_bytes += request.size_bytes
+        kind = request.kind
+        if kind is RequestKind.DEMAND:
+            stats.demand_completed += 1
+        elif kind is RequestKind.PREFETCH:
+            stats.prefetch_completed += 1
+        else:
+            stats.swapout_completed += 1
         for hook in self.completion_hooks:
             hook(request)
         if request.completion is not None:
             request.completion.succeed(request)
+        if request.owner is not None:
+            # Recycle strictly after the completion dispatch: the
+            # immediate lane runs the event's callbacks first, then this.
+            self.engine._immediate.append(request._recycle_cb)

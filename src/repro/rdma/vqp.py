@@ -60,6 +60,10 @@ class VirtualQP:
             request = queue.popleft()
             if request.dropped:
                 self.dropped_total += 1
+                if request.owner is not None:
+                    # A discarded pooled request never reaches the NIC;
+                    # recycle it now that it has left every queue.
+                    self.engine._immediate.append(request._recycle_cb)
                 continue
             self.popped_total += 1
             return request

@@ -25,6 +25,7 @@ Example
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from functools import partial
 from typing import Any, Callable, Generator, Iterable, Optional
@@ -38,7 +39,16 @@ __all__ = [
     "AnyOf",
     "Interrupt",
     "SimulationError",
+    "DEBUG_EVENT_NAMES",
 ]
+
+#: When set (``REPRO_EVENT_NAMES=1``), hot-path call sites build their
+#: descriptive f-string event names; by default they pass "" and the
+#: allocation-heavy formatting is skipped entirely.
+DEBUG_EVENT_NAMES = os.environ.get("REPRO_EVENT_NAMES", "") not in ("", "0")
+
+#: Sentinel distinguishing "no argument" from "argument is None".
+_NO_ARG = object()
 
 
 class SimulationError(RuntimeError):
@@ -62,7 +72,7 @@ class Event:
     inside it).
     """
 
-    __slots__ = ("engine", "_value", "_exc", "_fired", "_callbacks", "name")
+    __slots__ = ("engine", "_value", "_exc", "_fired", "_callbacks", "name", "generation")
 
     def __init__(self, engine: "Engine", name: str = ""):
         self.engine = engine
@@ -71,6 +81,9 @@ class Event:
         self._exc: Optional[BaseException] = None
         self._fired = False
         self._callbacks: list[Callable[["Event"], None]] = []
+        #: Bumped on every :meth:`reset`; recycling invariant tests use it
+        #: to tell incarnations of a reused event apart.
+        self.generation = 0
 
     @property
     def fired(self) -> bool:
@@ -100,6 +113,45 @@ class Event:
         self.engine._immediate.append(self._dispatch)
         return self
 
+    def grant(self, value: Any = None) -> "Event":
+        """Fire synchronously without scheduling a dispatch step.
+
+        Only valid while no waiter has subscribed: late subscribers are
+        delivered through the immediate lane anyway, so skipping the
+        empty dispatch keeps FIFO order while saving one engine step.
+        Used by resource fast paths that grant at creation time (an
+        uncontended lock, a semaphore with a free slot, a non-empty
+        FIFO store).
+        """
+        if self._fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        if self._callbacks:
+            raise SimulationError(f"grant of {self.name!r} with subscribers")
+        self._fired = True
+        self._value = value
+        return self
+
+    def reset(self) -> "Event":
+        """Return a fired-and-delivered event to the pending state.
+
+        Reuse discipline (single-waiter park/kick events, pooled request
+        completions): reset only *after* the firing has been dispatched —
+        a pending event, or one whose callbacks have not run yet, refuses
+        to reset so a stale waiter can never be silently dropped.  The
+        generation counter ties late observers to one incarnation.
+        """
+        if not self._fired:
+            raise SimulationError(f"reset of pending event {self.name!r}")
+        if self._callbacks:
+            raise SimulationError(
+                f"reset of {self.name!r} with undelivered callbacks"
+            )
+        self._fired = False
+        self._value = None
+        self._exc = None
+        self.generation += 1
+        return self
+
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self._fired:
             # Late subscription: deliver on the next engine step (FIFO
@@ -117,19 +169,44 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a fixed delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_fire_cb")
 
     def __init__(self, engine: "Engine", delay: float):
         if delay < 0:
             raise SimulationError(f"negative timeout: {delay}")
-        super().__init__(engine, name=f"timeout({delay})")
+        super().__init__(
+            engine, name=f"timeout({delay})" if DEBUG_EVENT_NAMES else "timeout"
+        )
         self.delay = delay
-        engine._schedule_call(delay, self._fire)
+        # The bound method is cached so pooled reuse schedules it without
+        # allocating a fresh method object per sleep.
+        self._fire_cb = self._fire
+        engine._schedule_call(delay, self._fire_cb)
 
     def _fire(self) -> None:
         self._fired = True
         self._value = None
         self._dispatch()
+
+
+class _PooledTimeout(Timeout):
+    """A timeout drawn from the engine's free list via :meth:`Engine.sleep`.
+
+    It recycles itself into the pool right after its firing has been
+    dispatched, so the waiter that yielded it has already resumed (or its
+    stale callback has been cleared) by the time the object can be handed
+    out again.  Discipline: a pooled timeout must be yielded immediately
+    by its creator (or handed to ``any_of``) and never stored for later —
+    in particular never placed under ``all_of``, which reads child values
+    after the last child fires.
+    """
+
+    __slots__ = ()
+
+    def _fire(self) -> None:
+        self._fired = True
+        self._dispatch()
+        self.engine._timeout_pool.append(self)
 
 
 class Process(Event):
@@ -140,13 +217,16 @@ class Process(Event):
     exception is thrown into the generator.
     """
 
-    __slots__ = ("generator", "_waiting_on", "_interrupt_pending")
+    __slots__ = ("generator", "_waiting_on", "_interrupt_pending", "_on_event_cb")
 
     def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
         super().__init__(engine, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
         self._waiting_on: Optional[Event] = None
         self._interrupt_pending: Optional[Interrupt] = None
+        # Cached bound method: every yield subscribes it to the target
+        # event, so building it per step would allocate on the hot path.
+        self._on_event_cb = self._on_event
         engine._immediate.append(self._start)
 
     def _start(self) -> None:
@@ -205,7 +285,7 @@ class Process(Event):
                 f"process {self.name!r} yielded non-event {target!r}"
             )
         self._waiting_on = target
-        target.add_callback(self._on_event)
+        target.add_callback(self._on_event_cb)
 
 
 class AllOf(Event):
@@ -274,11 +354,19 @@ class Engine:
 
     def __init__(self):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
-        self._immediate: deque[Callable[[], None]] = deque()
+        self._heap: list[tuple] = []
+        self._immediate: deque = deque()
         self._seq = 0
         self._running = False
         self._step_count = 0
+        #: Free list of recycled :class:`_PooledTimeout` objects.
+        self._timeout_pool: list[_PooledTimeout] = []
+        #: Shared permanently-fired event for value-less immediate grants
+        #: (uncontended lock/semaphore acquires).  Safe to hand to any
+        #: number of concurrent waiters: it carries no value, is never
+        #: reset, and every subscription is a late one delivered through
+        #: the immediate lane.
+        self.granted: Event = Event(self, "granted").grant()
 
     # -- scheduling ------------------------------------------------------
 
@@ -295,11 +383,24 @@ class Engine:
             raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
         self._schedule_call(when - self.now, callback)
 
-    def call_after(self, delay: float, callback: Callable[[], None]) -> None:
-        """Run ``callback()`` after ``delay`` simulated microseconds."""
+    def call_after(
+        self, delay: float, callback: Callable[..., None], arg: Any = _NO_ARG
+    ) -> None:
+        """Run ``callback()`` (or ``callback(arg)``) after ``delay`` µs.
+
+        The optional ``arg`` is carried in the scheduling entry itself, so
+        hot paths can schedule per-object work without allocating a
+        closure per call.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        self._schedule_call(delay, callback)
+        if arg is _NO_ARG:
+            self._schedule_call(delay, callback)
+        elif delay == 0.0:
+            self._immediate.append((callback, arg))
+        else:
+            self._seq += 1
+            heapq.heappush(self._heap, (self.now + delay, self._seq, callback, arg))
 
     # -- waitable factories ----------------------------------------------
 
@@ -308,6 +409,27 @@ class Engine:
 
     def timeout(self, delay: float) -> Timeout:
         return Timeout(self, delay)
+
+    def sleep(self, delay: float) -> Timeout:
+        """A pooled :class:`Timeout`: allocation-free on the steady state.
+
+        The returned object recycles itself once its firing has been
+        dispatched.  Callers must yield it immediately (directly or via
+        ``any_of``); see :class:`_PooledTimeout` for the discipline.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            return _PooledTimeout(self, delay)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        timeout = pool.pop()
+        timeout._fired = False
+        timeout._value = None
+        timeout._exc = None
+        timeout.generation += 1
+        timeout.delay = delay
+        self._schedule_call(delay, timeout._fire_cb)
+        return timeout
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -336,6 +458,12 @@ class Engine:
         the clock.  ``until`` bounds the clock (reached exactly on exit);
         ``limit`` raises instead of advancing past it; ``stop_event``
         stops as soon as the event has fired.
+
+        Entries come in two shapes per lane: heap entries are
+        ``(when, seq, callback)`` or ``(when, seq, callback, arg)``;
+        immediate entries are a bare callable or ``(callback, arg)``.
+        The arg-carrying forms let hot paths schedule per-object work
+        without a closure allocation (see :meth:`call_after`).
         """
         if self._running:
             raise SimulationError("engine is already running")
@@ -352,9 +480,17 @@ class Engine:
                 if heap:
                     when = heap[0][0]
                     if when <= self.now:
-                        callback = pop(heap)[2]
+                        entry = pop(heap)
+                        if len(entry) == 3:
+                            entry[2]()
+                        else:
+                            entry[2](entry[3])
                     elif immediate:
-                        callback = popleft()
+                        entry = popleft()
+                        if type(entry) is tuple:
+                            entry[0](entry[1])
+                        else:
+                            entry()
                     else:
                         if until is not None and when > until:
                             break
@@ -363,12 +499,19 @@ class Engine:
                                 f"event did not fire before t={limit}"
                             )
                         self.now = when
-                        callback = pop(heap)[2]
+                        entry = pop(heap)
+                        if len(entry) == 3:
+                            entry[2]()
+                        else:
+                            entry[2](entry[3])
                 elif immediate:
-                    callback = popleft()
+                    entry = popleft()
+                    if type(entry) is tuple:
+                        entry[0](entry[1])
+                    else:
+                        entry()
                 else:
                     break
-                callback()
                 steps += 1
                 if max_steps is not None and steps >= max_steps:
                     break

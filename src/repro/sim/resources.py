@@ -13,7 +13,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Deque, Generator, Optional
 
-from repro.sim.engine import Engine, Event, SimulationError
+from repro.sim.engine import DEBUG_EVENT_NAMES, Engine, Event, SimulationError
 
 __all__ = ["LockStats", "SimLock", "Semaphore", "FIFOStore", "CoreSet"]
 
@@ -71,16 +71,19 @@ class SimLock:
 
     def acquire(self) -> Event:
         """Return an event that fires when the caller holds the lock."""
-        event = self.engine.event(f"{self.name}.acquire")
         if not self._locked:
             self._locked = True
             self._acquired_at = self.engine.now
             self.stats.acquisitions += 1
-            event.succeed()
-        else:
-            self.stats.contended_acquisitions += 1
-            self._waiters.append((event, self.engine.now))
-            self.stats.max_queue_len = max(self.stats.max_queue_len, len(self._waiters))
+            if DEBUG_EVENT_NAMES:
+                return Event(self.engine, f"{self.name}.acquire").grant()
+            return self.engine.granted
+        event = Event(
+            self.engine, f"{self.name}.acquire" if DEBUG_EVENT_NAMES else ""
+        )
+        self.stats.contended_acquisitions += 1
+        self._waiters.append((event, self.engine.now))
+        self.stats.max_queue_len = max(self.stats.max_queue_len, len(self._waiters))
         return event
 
     def release(self) -> None:
@@ -118,12 +121,15 @@ class Semaphore:
         return len(self._waiters)
 
     def acquire(self) -> Event:
-        event = self.engine.event(f"{self.name}.acquire")
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed()
-        else:
-            self._waiters.append(event)
+            if DEBUG_EVENT_NAMES:
+                return Event(self.engine, f"{self.name}.acquire").grant()
+            return self.engine.granted
+        event = Event(
+            self.engine, f"{self.name}.acquire" if DEBUG_EVENT_NAMES else ""
+        )
+        self._waiters.append(event)
         return event
 
     def release(self) -> None:
@@ -159,9 +165,12 @@ class FIFOStore:
             self._items.append(item)
 
     def get(self) -> Event:
-        event = self.engine.event(f"{self.name}.get")
+        event = Event(self.engine, f"{self.name}.get" if DEBUG_EVENT_NAMES else "")
         if self._items:
-            event.succeed(self._items.popleft())
+            # The item rides on a fresh event (values differ per get), but
+            # the empty dispatch step is skipped — the getter subscribes
+            # late and is delivered through the immediate lane.
+            event.grant(self._items.popleft())
         else:
             self._getters.append(event)
         return event
@@ -208,7 +217,7 @@ class CoreSet:
         yield self._sem.acquire()
         self.stats.total_runqueue_wait_us += self.engine.now - enqueued_at
         try:
-            yield self.engine.timeout(duration_us)
+            yield self.engine.sleep(duration_us)
             self.stats.busy_us += duration_us
             self.stats.executions += 1
         finally:
