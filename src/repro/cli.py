@@ -31,10 +31,17 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.faults import SCENARIOS
 from repro.harness.cache import CACHE_DIR_ENV, CACHE_STATS, default_disk_cache
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.parallel import default_worker_count, run_experiments_parallel
-from repro.metrics.report import format_cache_summary, format_table
+from repro.metrics.report import (
+    FAULT_STALL_HEADERS,
+    fault_stall_rows,
+    format_cache_summary,
+    format_fault_summary,
+    format_table,
+)
 from repro.workloads.registry import WORKLOADS
 
 SYSTEMS = ["linux", "linux514", "fastswap", "infiniswap", "canvas-iso", "canvas"]
@@ -90,6 +97,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="US",
         help="CPU-charge granularity in simulated µs (default 25)",
+    )
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="co-run under a named fault scenario and report degradation "
+        "and per-cgroup retry-vs-queueing stalls",
+    )
+    _add_common(chaos_cmd)
+    chaos_cmd.add_argument(
+        "--scenario",
+        default="degraded",
+        choices=sorted(SCENARIOS),
+        help="named fault scenario (see repro.faults.SCENARIOS)",
+    )
+    chaos_cmd.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the fault plan's RNG seed (default derives from --seed)",
+    )
+    chaos_cmd.add_argument(
+        "--drop-prob",
+        type=float,
+        default=None,
+        metavar="P",
+        help="override the scenario's silent wire-drop probability",
+    )
+    chaos_cmd.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the fault-free reference run (no slowdown column)",
     )
 
     cache_cmd = sub.add_parser(
@@ -219,6 +258,55 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from dataclasses import replace
+
+    fault_config = SCENARIOS[args.scenario]
+    overrides = {}
+    if args.fault_seed is not None:
+        overrides["fault_seed"] = args.fault_seed
+    if args.drop_prob is not None:
+        overrides["drop_prob"] = args.drop_prob
+    if overrides:
+        fault_config = replace(fault_config, **overrides)
+    base = _config(args)
+    faulted = replace(base, fault_config=fault_config)
+    baseline = None
+    if not args.no_baseline:
+        print("running fault-free baseline ...", file=sys.stderr)
+        baseline = run_experiment(args.apps, base)
+    print(f"running scenario {args.scenario!r} ...", file=sys.stderr)
+    result = run_experiment(args.apps, faulted)
+
+    headers = ["app", "time (ms)", "faults"]
+    if baseline is not None:
+        headers.append("slowdown (x)")
+    rows = []
+    for name in args.apps:
+        app_result = result.results[name]
+        row = [name, app_result.completion_time_us / 1000, app_result.stats.faults]
+        if baseline is not None:
+            reference = baseline.completion_time(name)
+            row.append(
+                app_result.completion_time_us / reference
+                if reference
+                else float("nan")
+            )
+        rows.append(row)
+    print(f"chaos scenario {args.scenario!r} on {args.system}")
+    print(format_table(headers, rows))
+    print()
+    print(format_table(FAULT_STALL_HEADERS, fault_stall_rows(result.results)))
+    print()
+    print(format_fault_summary(result.machine.nic.stats))
+    if args.csv:
+        from repro.analysis import export_summaries, summarize
+
+        export_summaries(args.csv, summarize(result))
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = default_disk_cache()
     if cache is None:
@@ -256,6 +344,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_list(args)

@@ -152,6 +152,7 @@ class CanvasSwapSystem(BaseSwapSystem):
                 state.partition,
                 limit_entries=partition_pages,
                 chunk_entries=self.canvas.remote_chunk_entries,
+                fault_plan=self.fault_plan,
             )
         else:
             state.partition = SwapPartition(f"{app.name}.swap", partition_pages)

@@ -318,7 +318,10 @@ class TwoDimensionalScheduler:
         if request.op is RdmaOp.READ:
             self._outstanding_reads -= 1
             state = self._apps.get(request.app_name)
-            if state is not None:
+            if state is not None and not request.error:
+                # Error CQEs free the slot but must not feed the service
+                # EWMA: their latency is retry backoff, not service time,
+                # and would poison the timeliness estimate.
                 service = self.engine.now - forwarded_at
                 state.service_ewma_us += self.ewma_alpha * (
                     service - state.service_ewma_us

@@ -24,6 +24,8 @@ class RemoteMemoryStats:
     growths: int = 0
     entries_registered: int = 0
     registration_stall_us: float = 0.0
+    #: Registrations that paid a fault-plan server-slowdown multiplier.
+    degraded_registrations: int = 0
 
 
 class DemandDrivenRemoteMemory:
@@ -37,6 +39,7 @@ class DemandDrivenRemoteMemory:
         chunk_entries: int = 1024,
         registration_us_per_chunk: float = 120.0,
         low_water_entries: int = 64,
+        fault_plan=None,
     ):
         if partition.n_entries > limit_entries:
             raise ValueError(
@@ -49,6 +52,9 @@ class DemandDrivenRemoteMemory:
         self.chunk_entries = chunk_entries
         self.registration_us_per_chunk = registration_us_per_chunk
         self.low_water_entries = low_water_entries
+        #: Optional :class:`repro.faults.FaultPlan`: server slowdown
+        #: episodes multiply the buffer-registration cost.
+        self.fault_plan = fault_plan
         self.stats = RemoteMemoryStats()
         self._growing = False
 
@@ -76,7 +82,13 @@ class DemandDrivenRemoteMemory:
         try:
             chunk = min(self.chunk_entries, self.headroom)
             start = self.engine.now
-            yield self.engine.timeout(self.registration_us_per_chunk)
+            cost = self.registration_us_per_chunk
+            if self.fault_plan is not None:
+                factor = self.fault_plan.registration_slowdown(start)
+                if factor != 1.0:
+                    cost *= factor
+                    self.stats.degraded_registrations += 1
+            yield self.engine.timeout(cost)
             self.partition.grow(chunk)
             self.stats.growths += 1
             self.stats.entries_registered += chunk

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional
 from repro.baselines.fastswap import FastswapSystem
 from repro.baselines.infiniswap import InfiniswapSystem
 from repro.core.canvas import CanvasConfig, CanvasSwapSystem
+from repro.faults import FaultConfig, make_plan
 from repro.harness.driver import run_to_completion, spawn_app
 from repro.harness.machine import Machine
 from repro.kernel.cgroup import AppContext, AppSwapStats, CgroupConfig
@@ -107,6 +108,10 @@ class ExperimentConfig:
     #: to each application's *individually measured* bandwidth (§6.4.3);
     #: default (empty) falls back to partition-size proportionality.
     rdma_weights: Dict[str, float] = field(default_factory=dict)
+    #: Optional fault scenario (see :mod:`repro.faults`).  ``None`` runs
+    #: the pre-fault code path exactly; a zero-rate config is attached
+    #: but injects nothing, producing bit-identical results either way.
+    fault_config: Optional[FaultConfig] = None
 
     def cores_for(self, workload: Workload) -> int:
         if workload.name in self.cores_override:
@@ -306,6 +311,12 @@ def run_experiment(
     is_canvas = isinstance(system, CanvasSwapSystem)
     if profiler is not None:
         machine.nic.profiler = profiler
+    # Fault plan attaches before any app registers: Canvas reads
+    # ``system.fault_plan`` while provisioning per-cgroup resources.
+    fault_plan = make_plan(config.fault_config, config.seed)
+    if fault_plan is not None:
+        machine.nic.fault_plan = fault_plan
+        system.fault_plan = fault_plan
 
     apps: Dict[str, AppContext] = {}
     processes = []

@@ -77,6 +77,20 @@ class AppSwapStats:
     writeback_rescues: int = 0
     #: Addresses forwarded to the application tier (§5.2).
     uffd_forwards: int = 0
+    #: Fault-injection recovery accounting (zero on a healthy fabric).
+    #: Error CQEs delivered to this cgroup by the NIC.
+    error_cqes: int = 0
+    #: Demand reads reissued after an error CQE.
+    demand_retries: int = 0
+    #: Writebacks reissued after an error CQE.
+    writeback_retries: int = 0
+    #: Speculative prefetches cancelled on an error CQE (never retried:
+    #: a later fault demand-fetches the page instead).
+    prefetches_cancelled: int = 0
+    #: Thread time attributable to transport retransmission timeouts,
+    #: summed over this cgroup's requests; subtracting it from
+    #: ``fault_stall_us`` separates retry stalls from queueing stalls.
+    retry_stall_us: float = 0.0
 
     @property
     def fault_rate(self) -> float:

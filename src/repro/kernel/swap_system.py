@@ -78,6 +78,11 @@ class SwapSystemConfig:
     max_inflight_prefetches: int = 64
     #: Swap cache capacity for the shared baseline cache (pages).
     shared_cache_pages: int = 16384
+    #: Kernel-level reissues of one logical transfer after error CQEs
+    #: (each reissue gets a fresh transport retry budget).  Past this the
+    #: fault is surfaced as a hard error — the fabric is persistently
+    #: failing and graceful degradation is no longer meaningful.
+    max_kernel_retries: int = 16
 
 
 class BaseSwapSystem:
@@ -115,6 +120,10 @@ class BaseSwapSystem:
         #: Observers called as fn(app_name, thread_id, vpn, start_us,
         #: end_us) when a fault finishes (tracing / analysis hooks).
         self.fault_hooks: list = []
+        #: Optional :class:`repro.faults.FaultPlan`, attached by the
+        #: harness alongside ``nic.fault_plan``; subsystems the kernel
+        #: builds later (e.g. demand-driven remote memory) read it here.
+        self.fault_plan = None
         self.nic.completion_hooks.append(self.telemetry.on_rdma_completion)
 
     # ------------------------------------------------------------------
@@ -174,6 +183,18 @@ class BaseSwapSystem:
     def _request_completed(self, request: RdmaRequest) -> None:
         """Bound completion dispatch (invoked via ``request.__call__``)."""
         app = self.apps[request.app_name]
+        if request.retry_stall_us > 0.0:
+            # Transport retransmissions delayed this completion; fold the
+            # backoff time into the cgroup's retry-stall account so
+            # reports can separate it from queueing stalls.
+            app.stats.retry_stall_us += request.retry_stall_us
+        if request.error:
+            app.stats.error_cqes += 1
+            if request.op is RdmaOp.WRITE:
+                self._on_writeback_error(app, request)
+            else:
+                self._on_read_error(app, request)
+            return
         if request.op is RdmaOp.WRITE:
             self._on_writeback_complete(app, request)
         else:
@@ -650,6 +671,95 @@ class BaseSwapSystem:
         event = self._inflight.pop(page, None)
         if event is not None and not event.fired:
             event.succeed()
+
+    # ------------------------------------------------------------------
+    # Error-CQE recovery (graceful degradation under fault injection)
+    # ------------------------------------------------------------------
+
+    def _on_read_error(self, app: AppContext, request: RdmaRequest) -> None:
+        """A swap-in failed past the transport retry budget.
+
+        Demand reads are retried with a fresh request (the faulting
+        threads stay parked on the page's in-flight event, so a retry is
+        invisible to them beyond the added stall); speculative prefetches
+        are cancelled instead — the cheapest load to shed — and a later
+        fault demand-fetches the page.
+        """
+        page = request.page
+        if self._inflight_req.get(page) is not request:
+            # Superseded (e.g. dropped by the scheduler and reissued as a
+            # demand read): nothing depends on this request anymore.
+            request.entry.valid = True
+            return
+        if request.kind is RequestKind.PREFETCH:
+            self._cancel_prefetch(app, request)
+            return
+        retries = request.kernel_retries + 1
+        if retries > self.config.max_kernel_retries:
+            raise RuntimeError(
+                f"{app.name}: demand read for vpn {page.vpn:#x} failed "
+                f"{retries} times past the transport budget — fabric is "
+                f"persistently failing"
+            )
+        app.stats.demand_retries += 1
+        retry = self._acquire_request(
+            RdmaOp.READ, RequestKind.DEMAND, app.name, request.entry, page
+        )
+        retry.kernel_retries = retries
+        self._inflight_req[page] = retry
+        # The page keeps its frame charge, cache slot, and lock; waiters
+        # stay parked on the same in-flight event until the retry lands.
+        request.entry.timestamp_us = None
+        self._submit_read(app, retry)
+
+    def _cancel_prefetch(self, app: AppContext, request: RdmaRequest) -> None:
+        """Unwind a failed prefetch completely (mirrors a scheduler drop)."""
+        page = request.page
+        app.stats.prefetches_cancelled += 1
+        self._dec_inflight_prefetch(request.app_name)
+        del self._inflight_req[page]
+        event = self._inflight.pop(page, None)
+        if page.in_swap_cache and page.swap_entry is not None:
+            self._cache_for(app, page).discard(page.swap_entry)
+            app.pool.uncharge(1)
+        page.locked = False
+        page.prefetched = False
+        page.prefetch_timestamp_us = None
+        request.entry.timestamp_us = None
+        request.entry.valid = True
+        if event is not None and not event.fired:
+            event.succeed()  # waiters re-evaluate and demand-fetch
+
+    def _on_writeback_error(self, app: AppContext, request: RdmaRequest) -> None:
+        """A swap-out failed past the transport retry budget.
+
+        The dirty page still sits in the swap cache holding its frame, so
+        the writeback is simply reissued; the logical writeback stays
+        outstanding until one reissue completes.  A rescued (re-faulted)
+        page needs no retry — its data is local again.
+        """
+        page = request.page
+        if self._inflight_req.get(page) is not request:
+            # Rescued mid-flight: the failed write is moot, and the
+            # logical writeback ends here.
+            self._outstanding_writebacks[app.name] = max(
+                0, self._outstanding_writebacks.get(app.name, 0) - 1
+            )
+            return
+        retries = request.kernel_retries + 1
+        if retries > self.config.max_kernel_retries:
+            raise RuntimeError(
+                f"{app.name}: writeback for vpn {page.vpn:#x} failed "
+                f"{retries} times past the transport budget — fabric is "
+                f"persistently failing"
+            )
+        app.stats.writeback_retries += 1
+        retry = self._acquire_request(
+            RdmaOp.WRITE, RequestKind.SWAPOUT, app.name, request.entry, page
+        )
+        retry.kernel_retries = retries
+        self._inflight_req[page] = retry
+        self._submit_write(app, retry)
 
     # ------------------------------------------------------------------
     # Prefetching

@@ -36,6 +36,10 @@ class Telemetry:
     # -- NIC hook ---------------------------------------------------------
 
     def on_rdma_completion(self, request: RdmaRequest) -> None:
+        if request.error:
+            # Error CQE: no data moved, so neither bandwidth nor the
+            # latency CDFs should see it (the retry's completion will).
+            return
         if request.op is RdmaOp.READ:
             self.read_bandwidth.record(
                 request.app_name, request.completed_at_us, request.size_bytes

@@ -8,8 +8,11 @@ from repro.metrics.collectors import (
 )
 from repro.metrics.profiler import SimProfiler
 from repro.metrics.report import (
+    FAULT_STALL_HEADERS,
+    fault_stall_rows,
     format_cache_summary,
     format_cdf,
+    format_fault_summary,
     format_run_log,
     format_series,
     format_table,
@@ -21,8 +24,11 @@ __all__ = [
     "Histogram",
     "RateMeter",
     "weighted_min_max_ratio",
+    "FAULT_STALL_HEADERS",
+    "fault_stall_rows",
     "format_cache_summary",
     "format_cdf",
+    "format_fault_summary",
     "format_run_log",
     "format_series",
     "format_table",

@@ -14,6 +14,9 @@ __all__ = [
     "format_cdf",
     "format_cache_summary",
     "format_run_log",
+    "FAULT_STALL_HEADERS",
+    "fault_stall_rows",
+    "format_fault_summary",
 ]
 
 
@@ -87,3 +90,56 @@ def format_run_log(entries: Sequence[Tuple[str, str, float]]) -> str:
     """Per-job wall-clock table: (label, source, seconds) triples."""
     rows = [[label, source, f"{seconds:.3f}"] for label, source, seconds in entries]
     return format_table(["job", "source", "wall (s)"], rows)
+
+
+#: Column set produced by :func:`fault_stall_rows` (chaos CLI/benchmark).
+FAULT_STALL_HEADERS = [
+    "app",
+    "retry stall (ms)",
+    "queue+svc stall (ms)",
+    "error CQEs",
+    "demand retries",
+    "wb retries",
+    "pf cancelled",
+]
+
+
+def fault_stall_rows(results: Dict[str, object]) -> List[List]:
+    """Per-cgroup fault-recovery rows from ``ExperimentResult.results``.
+
+    Splits each app's total fault stall into the part attributable to
+    transport retransmission timeouts (``retry_stall_us``) and the
+    remainder (queueing plus service), the separation the degradation
+    report is built around.
+    """
+    rows = []
+    for name in sorted(results):
+        stats = results[name].stats
+        retry_ms = stats.retry_stall_us / 1000
+        other_ms = max(0.0, stats.fault_stall_us - stats.retry_stall_us) / 1000
+        rows.append(
+            [
+                name,
+                retry_ms,
+                other_ms,
+                stats.error_cqes,
+                stats.demand_retries,
+                stats.writeback_retries,
+                stats.prefetches_cancelled,
+            ]
+        )
+    return rows
+
+
+def format_fault_summary(nic_stats) -> str:
+    """One-line fabric-side fault tally from a :class:`NicStats`."""
+    return (
+        f"fabric faults: {nic_stats.wire_drops} wire drops, "
+        f"{nic_stats.completion_errors} completion errors, "
+        f"{nic_stats.retransmits} retransmits, "
+        f"{nic_stats.transport_failures} transport failures "
+        f"({nic_stats.error_cqes_delivered} error CQEs), "
+        f"{nic_stats.flap_stall_us / 1000:.2f} ms flap stall, "
+        f"{nic_stats.degraded_transfers} degraded transfers, "
+        f"{nic_stats.server_delayed} server-delayed completions"
+    )

@@ -53,6 +53,10 @@ class RdmaRequest:
         "completed_at_us",
         "completion",
         "dropped",
+        "error",
+        "retries",
+        "kernel_retries",
+        "retry_stall_us",
         "owner",
         "_recycle_cb",
         "_in_pool",
@@ -82,6 +86,18 @@ class RdmaRequest:
         self.completion: Optional["Event"] = completion
         #: Canvas §5.3: stale prefetches are dropped instead of served.
         self.dropped = False
+        #: True once the NIC exhausted its retransmission budget: the
+        #: completion event fires carrying an *error CQE* and the kernel
+        #: must recover (retry the demand read, cancel the prefetch, ...).
+        self.error = False
+        #: Transport-level retransmissions this life suffered (NIC-side).
+        self.retries = 0
+        #: Kernel-level reissues behind this logical transfer: a retried
+        #: demand read or writeback carries its predecessor's count + 1.
+        self.kernel_retries = 0
+        #: Total time this life spent waiting on retransmission timeouts;
+        #: folded into per-cgroup retry-stall accounting at completion.
+        self.retry_stall_us = 0.0
         #: The swap system this request belongs to, when it participates
         #: in request pooling; None for standalone requests (tests).
         self.owner = None
@@ -121,6 +137,10 @@ class RdmaRequest:
         self.issued_at_us = None
         self.completed_at_us = None
         self.dropped = False
+        self.error = False
+        self.retries = 0
+        self.kernel_retries = 0
+        self.retry_stall_us = 0.0
         self._in_pool = False
 
     def _recycle(self) -> None:

@@ -32,6 +32,10 @@ from repro.sim.engine import Engine, Event
 
 __all__ = ["DirectionalChannel", "PhysicalQP", "RNIC", "NicStats"]
 
+#: FaultPlan verdict codes, mirrored from :mod:`repro.faults` (kept as
+#: bare ints here so the NIC never imports the faults module).
+_FAULT_DROP, _FAULT_ERROR = 1, 2
+
 #: 40 Gbps = 5000 bytes/µs raw; ~4% header/protocol overhead.
 DEFAULT_BANDWIDTH_BYTES_PER_US = 4800.0
 DEFAULT_BASE_LATENCY_US = 3.0
@@ -52,10 +56,20 @@ class DirectionalChannel:
     def transfer_time_us(self, size_bytes: int) -> float:
         return size_bytes / self.bandwidth_bytes_per_us
 
-    def reserve(self, now_us: float, size_bytes: int) -> float:
-        """Occupy the wire for one transfer; returns wire-release time."""
+    def reserve(
+        self, now_us: float, size_bytes: int, bandwidth_scale: float = 1.0
+    ) -> float:
+        """Occupy the wire for one transfer; returns wire-release time.
+
+        ``bandwidth_scale`` shrinks effective bandwidth during fault-plan
+        degradation windows; the default multiplies by 1.0, which is
+        exact in IEEE arithmetic, so un-degraded transfers stay
+        bit-identical to the two-argument call.
+        """
         start = max(now_us, self.busy_until_us)
-        self.busy_until_us = start + self.transfer_time_us(size_bytes)
+        self.busy_until_us = start + size_bytes / (
+            self.bandwidth_bytes_per_us * bandwidth_scale
+        )
         self.bytes_transferred += size_bytes
         return self.busy_until_us
 
@@ -102,6 +116,21 @@ class NicStats:
     demand_completed: int = 0
     prefetch_completed: int = 0
     swapout_completed: int = 0
+    #: Fault-plan accounting.  Every injected verb fault is eventually
+    #: either retransmitted or surfaced as an error CQE, so
+    #: ``wire_drops + completion_errors == retransmits + transport_failures``
+    #: once the fabric drains (the chaos suite asserts exactly this).
+    wire_drops: int = 0
+    completion_errors: int = 0
+    retransmits: int = 0
+    transport_failures: int = 0
+    error_cqes_delivered: int = 0
+    #: Dispatch time spent waiting out link flaps (µs) and transfers
+    #: served inside a bandwidth-degradation window.
+    flap_stall_us: float = 0.0
+    degraded_transfers: int = 0
+    #: Completions delayed by a remote-server slowdown episode.
+    server_delayed: int = 0
 
 
 class RNIC:
@@ -126,6 +155,17 @@ class RNIC:
         #: Optional SimProfiler; when set, dispatch selection and
         #: completion callbacks are attributed to the "rdma" section.
         self.profiler = None
+        #: Optional :class:`repro.faults.FaultPlan`.  When None (the
+        #: default) the dispatch loop takes the exact pre-fault code
+        #: path; every injection site is gated on this attribute.
+        self.fault_plan = None
+        #: Lazily created per-op retransmission QPs.  Priority -1 sorts
+        #: ahead of every kernel QP, so a retried transfer re-enters
+        #: service before new work — RC hardware replays from the send
+        #: queue head the same way — and scheduler window accounting
+        #: never sees the retry (the original forward still owns the
+        #: outstanding slot until one completion fires).
+        self._rtx_qps: Dict[RdmaOp, PhysicalQP] = {}
         self._qps: Dict[RdmaOp, List[PhysicalQP]] = {RdmaOp.READ: [], RdmaOp.WRITE: []}
         #: Priority-group dispatch tables: per op, the QPs grouped by
         #: priority level (ascending), precomputed at create_qp time so
@@ -228,6 +268,10 @@ class RNIC:
                     # after the hooks' unwind has been dispatched.
                     engine._immediate.append(request._recycle_cb)
                 continue
+            plan = self.fault_plan
+            if plan is not None:
+                yield from self._serve_faulted(channel, request, plan)
+                continue
             # Verb processing on the NIC, then the wire, then propagation.
             # One pooled sleep covers verb + wire: the wire slot is
             # reserved up front for the instant the verb would have hit
@@ -240,6 +284,91 @@ class RNIC:
             # The request rides in the scheduling entry — no closure.
             engine.call_after(self.base_latency_us, self._complete, request)
 
+    # -- fault-plan service path -------------------------------------------
+
+    def _serve_faulted(self, channel: DirectionalChannel, request: RdmaRequest, plan):
+        """Serve one transfer under a fault plan.
+
+        With every knob at zero this path performs the exact float
+        arithmetic and the exact yields of the plain path (the flap
+        sleep is skipped, the bandwidth scale multiplies by 1.0, and the
+        server delay adds 0.0), so a zero plan is bit-identical to no
+        plan.
+        """
+        engine = self.engine
+        now = engine.now
+        down_until = plan.link_down_until(now)
+        if down_until > now:
+            # Link flap: the dispatch loop stalls until the link is back
+            # (nothing can be serialized onto a dead wire).
+            self.stats.flap_stall_us += down_until - now
+            yield engine.sleep(down_until - now)
+            now = engine.now
+        request.issued_at_us = now
+        scale = plan.bandwidth_scale(now)
+        if scale != 1.0:
+            self.stats.degraded_transfers += 1
+        release = channel.reserve(
+            now + self.verb_overhead_us, request.size_bytes, scale
+        )
+        yield engine.sleep(release - now)
+        verdict = plan.roll(request)
+        if verdict:
+            self._transport_fault(request, verdict, plan)
+            return
+        extra = plan.server_delay_us(engine.now)
+        if extra > 0.0:
+            self.stats.server_delayed += 1
+        engine.call_after(self.base_latency_us + extra, self._complete, request)
+
+    def _transport_fault(self, request: RdmaRequest, verdict: int, plan) -> None:
+        """One served transfer failed: back off and retransmit, or give up.
+
+        A silent wire drop is detected by the retransmission timeout
+        (nothing ever arrives); a completion error is detected when the
+        error status arrives after the normal propagation delay, so its
+        retry starts sooner (``error_retry_scale``).  Past the retry
+        budget the request completes as an *error CQE*: the completion
+        event still fires (so schedulers free their slots and pooled
+        requests recycle), with ``request.error`` telling the kernel to
+        recover instead of mapping data in.
+        """
+        stats = self.stats
+        request.retries += 1
+        attempt = request.retries
+        if verdict == _FAULT_DROP:
+            stats.wire_drops += 1
+            delay = plan.rto_us(attempt)
+        else:
+            stats.completion_errors += 1
+            delay = (
+                self.base_latency_us
+                + plan.rto_us(attempt) * plan.config.error_retry_scale
+            )
+        if attempt > plan.config.transport_retry_limit:
+            stats.transport_failures += 1
+            request.error = True
+            self.engine.call_after(self.base_latency_us, self._complete, request)
+            return
+        stats.retransmits += 1
+        request.retry_stall_us += delay
+        self.engine.call_after(delay, self._retransmit, request)
+
+    def _retransmit(self, request: RdmaRequest) -> None:
+        """Timer callback: re-enqueue on the head-priority retransmit QP.
+
+        A request marked dropped while waiting out its timeout still goes
+        through the queue so the dispatch loop's drop path runs the hooks
+        and recycles it — exactly like any other queued dropped request.
+        """
+        qp = self._rtx_qps.get(request.op)
+        if qp is None:
+            qp = self.create_qp(
+                f"{self.name}.{request.op.value}.rtx", request.op, priority=-1
+            )
+            self._rtx_qps[request.op] = qp
+        self.submit(qp, request)
+
     def _complete(self, request: RdmaRequest) -> None:
         if self.profiler is not None:
             t0 = perf_counter()
@@ -251,19 +380,26 @@ class RNIC:
     def _complete_inner(self, request: RdmaRequest) -> None:
         request.completed_at_us = self.engine.now
         stats = self.stats
-        if request.op is RdmaOp.READ:
-            stats.reads_completed += 1
-            stats.read_bytes += request.size_bytes
+        if request.error:
+            # An error CQE: no data landed, so the byte and per-kind
+            # counters stay untouched.  Hooks and the completion event
+            # still run — schedulers must free the outstanding slot and
+            # the kernel must observe the failure.
+            stats.error_cqes_delivered += 1
         else:
-            stats.writes_completed += 1
-            stats.write_bytes += request.size_bytes
-        kind = request.kind
-        if kind is RequestKind.DEMAND:
-            stats.demand_completed += 1
-        elif kind is RequestKind.PREFETCH:
-            stats.prefetch_completed += 1
-        else:
-            stats.swapout_completed += 1
+            if request.op is RdmaOp.READ:
+                stats.reads_completed += 1
+                stats.read_bytes += request.size_bytes
+            else:
+                stats.writes_completed += 1
+                stats.write_bytes += request.size_bytes
+            kind = request.kind
+            if kind is RequestKind.DEMAND:
+                stats.demand_completed += 1
+            elif kind is RequestKind.PREFETCH:
+                stats.prefetch_completed += 1
+            else:
+                stats.swapout_completed += 1
         for hook in self.completion_hooks:
             hook(request)
         if request.completion is not None:

@@ -33,6 +33,9 @@ class VirtualQP:
         self.pushed_total = 0
         self.popped_total = 0
         self.dropped_total = 0
+        #: Kernel-level retries (reissues after an error CQE) re-entering
+        #: this VQP; distinguishes fault-recovery traffic from fresh work.
+        self.retried_total = 0
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues.values())
@@ -49,6 +52,8 @@ class VirtualQP:
             request.entry.timestamp_us = self.engine.now
         self._queues[request.kind].append(request)
         self.pushed_total += 1
+        if request.kernel_retries:
+            self.retried_total += 1
 
     def pop(self, kind: RequestKind) -> Optional[RdmaRequest]:
         """Scheduler side: dequeue the oldest request of ``kind``.

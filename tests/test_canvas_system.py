@@ -1,47 +1,12 @@
 """Integration tests for the Canvas swap system."""
 
 import numpy as np
-import pytest
 
-from repro.core import CanvasConfig, CanvasSwapSystem
+from repro.core import CanvasConfig
 from repro.harness.driver import spawn_app, run_to_completion
 from repro.harness.machine import Machine
-from repro.kernel import AppContext, CgroupConfig
 from repro.mem import PageState
-
-
-def build_canvas(machine, canvas_config=None, apps_spec=None):
-    system = CanvasSwapSystem(
-        machine.engine,
-        machine.nic,
-        telemetry=machine.telemetry,
-        canvas_config=canvas_config,
-    )
-    apps = {}
-    for name, total_pages, local_pages, n_cores in apps_spec or [
-        ("a", 1024, 256, 4)
-    ]:
-        app = AppContext(
-            machine.engine,
-            CgroupConfig(
-                name=name,
-                n_cores=n_cores,
-                local_memory_pages=local_pages,
-                swap_partition_pages=int((total_pages - local_pages) * 1.3),
-                swap_cache_pages=max(64, local_pages // 8),
-            ),
-        )
-        app.space.map_region(total_pages, name="heap")
-        system.register_app(app)
-        system.prepopulate(app, resident_fraction=local_pages / total_pages * 0.8)
-        apps[name] = app
-    return system, apps
-
-
-def seq_stream(app, n, write=False, cpu=0.05):
-    vpns = sorted(app.space.pages)
-    for i in range(n):
-        yield (vpns[i % len(vpns)], write, cpu)
+from tests.conftest import build_canvas, seq_stream
 
 
 def test_per_app_partitions_and_caches_exist():

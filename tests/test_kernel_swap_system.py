@@ -1,44 +1,10 @@
 """Integration tests for the Linux-baseline swap system."""
 
-import pytest
-
-from repro.harness.driver import app_thread, spawn_app
+from repro.harness.driver import spawn_app
 from repro.harness.machine import Machine
 from repro.kernel import AppContext, CgroupConfig, LinuxSwapSystem, SwapSystemConfig
 from repro.prefetch import KernelReadahead
-
-
-def build_system(
-    machine,
-    local_pages=256,
-    total_pages=1024,
-    partition_pages=4096,
-    prefetcher=None,
-    cache_pages=64,
-    n_cores=4,
-):
-    config = SwapSystemConfig(shared_cache_pages=cache_pages)
-    system = LinuxSwapSystem(
-        machine.engine,
-        machine.nic,
-        partition_pages=partition_pages,
-        prefetcher=prefetcher,
-        telemetry=machine.telemetry,
-        config=config,
-    )
-    app = AppContext(
-        machine.engine,
-        CgroupConfig(name="app", n_cores=n_cores, local_memory_pages=local_pages),
-    )
-    vma = app.space.map_region(total_pages, name="heap")
-    system.register_app(app)
-    system.prepopulate(app, resident_fraction=local_pages / total_pages * 0.8)
-    return system, app, vma
-
-
-def sequential_accesses(vma, n, write=False, cpu_us=0.05):
-    for i in range(n):
-        yield (vma.start_vpn + (i % vma.n_pages), write, cpu_us)
+from tests.conftest import build_system, sequential_accesses
 
 
 def test_fault_on_swapped_page_fetches_it():

@@ -22,6 +22,7 @@ from repro.rdma.vqp import VirtualQP
 from repro.sim import Engine
 from repro.sim.engine import SimulationError
 from repro.swap import SwapPartition
+from tests.conftest import FakeOwner, pooled_request
 
 
 # -- Event reset / grant invariants -------------------------------------
@@ -166,25 +167,6 @@ def test_pooled_sleep_rejects_negative_delay():
 
 
 # -- RdmaRequest pooling -------------------------------------------------
-
-
-class FakeOwner:
-    """Minimal stand-in for a swap system that pools its requests."""
-
-    def __init__(self):
-        self._request_pool = []
-        self.completed = []
-
-    def _request_completed(self, request):
-        self.completed.append((request.request_id, request.op))
-
-
-def pooled_request(eng, part, owner, kind=RequestKind.DEMAND):
-    op = RdmaOp.WRITE if kind is RequestKind.SWAPOUT else RdmaOp.READ
-    request = RdmaRequest(op, kind, "a", part.pop_free(), completion=eng.event())
-    request.owner = owner
-    request.completion.add_callback(request)
-    return request
 
 
 def test_completed_request_returns_to_owner_pool():

@@ -1,0 +1,233 @@
+"""Seeded-random property tests for swap-entry and swap-cache bookkeeping.
+
+No hypothesis dependency: each test drives a long random interleaving of
+operations from a seeded numpy generator (parametrized over seeds), with
+a shadow model alongside.  The invariants under test:
+
+* an allocator never hands the same entry to two holders, never loses an
+  entry, and its free/held/stashed counts always reconcile to the
+  partition size — under concurrent allocation from many cores;
+* the swap cache's membership, LRU bookkeeping, and ``in_swap_cache``
+  flags always match a shadow dict, and its stats reconcile
+  (``insertions == removals + shrink_evictions + len(cache)``);
+* a live swap system's end state reconciles — unique allocated entries,
+  balanced frame-pool charges, empty in-flight tables — with and
+  without injected transport faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultConfig, FaultPlan
+from repro.harness.driver import run_to_completion, spawn_app
+from repro.harness.machine import Machine
+from repro.mem import Page
+from repro.sim import Engine
+from repro.sim.rng import derive_seed
+from repro.swap import SwapPartition
+from repro.swap.allocator import (
+    BatchAllocator,
+    FreeListAllocator,
+    Linux514Allocator,
+    PerCoreClusterAllocator,
+)
+from repro.swap.swap_cache import SwapCache
+from tests.conftest import build_system, sequential_accesses
+
+N_ENTRIES = 512
+ALLOCATORS = {
+    "freelist": FreeListAllocator,
+    "percore-cluster": lambda eng, part: PerCoreClusterAllocator(
+        eng, part, cluster_entries=64
+    ),
+    "batch": BatchAllocator,
+    "linux514": lambda eng, part: Linux514Allocator(eng, part, cluster_entries=64),
+}
+
+
+def _free_and_stashed(allocator) -> int:
+    """Entries not handed out: on free lists plus in per-core caches.
+
+    Each policy parks free entries somewhere different (partition deque,
+    per-cluster lists, per-core batch caches); sum them all.
+    """
+    total = 0
+    if hasattr(allocator, "clusters"):
+        total += sum(len(c.free) for c in allocator.clusters)
+    else:
+        total += allocator.partition.free_count
+    for cache in getattr(allocator, "_core_cache", {}).values():
+        total += len(cache)
+    for batch in getattr(allocator, "_core_batch", {}).values():
+        total += len(batch)
+    return total
+
+
+@pytest.mark.parametrize("name", sorted(ALLOCATORS))
+@pytest.mark.parametrize("seed", [0, 1])
+def test_allocator_random_interleavings_reconcile(name, seed):
+    eng = Engine()
+    part = SwapPartition("p", N_ENTRIES)
+    allocator = ALLOCATORS[name](eng, part)
+    held_ids = set()
+    outstanding = [0]
+    handed_out = [0]
+    freed = [0]
+    n_cores = 4
+
+    def worker(core_id):
+        rng = np.random.default_rng(derive_seed(seed, f"worker{core_id}"))
+        held = []
+        for _ in range(120):
+            want_alloc = not held or rng.random() < 0.55
+            if want_alloc and outstanding[0] < N_ENTRIES - 64:
+                entry = yield from allocator.allocate(core_id)
+                # Never hand one entry to two holders.
+                assert entry.entry_id not in held_ids
+                assert entry.allocated
+                held_ids.add(entry.entry_id)
+                held.append(entry)
+                outstanding[0] += 1
+                handed_out[0] += 1
+            elif held:
+                entry = held.pop(int(rng.integers(0, len(held))))
+                allocator.free(entry)
+                held_ids.remove(entry.entry_id)
+                outstanding[0] -= 1
+                freed[0] += 1
+            if rng.random() < 0.2:
+                yield eng.sleep(float(rng.random()))
+        # Leave the rest held: the reconciliation below must account for
+        # entries still out, not just a fully-drained end state.
+        holders.append(held)
+
+    holders = []
+    for core_id in range(n_cores):
+        eng.spawn(worker(core_id))
+    eng.run()
+
+    # No entry lost, none duplicated: free + stashed + held == partition.
+    assert _free_and_stashed(allocator) + len(held_ids) == N_ENTRIES
+    assert allocator.stats.allocations == handed_out[0]
+    assert allocator.stats.frees == freed[0]
+    # Drain the survivors; the partition must reconcile back to full.
+    for held in holders:
+        for entry in held:
+            allocator.free(entry)
+            held_ids.remove(entry.entry_id)
+    assert not held_ids
+    assert _free_and_stashed(allocator) == N_ENTRIES
+
+
+def test_freelist_double_free_is_rejected():
+    eng = Engine()
+    part = SwapPartition("p", 8)
+    allocator = FreeListAllocator(eng, part)
+
+    def proc():
+        entry = yield from allocator.allocate(0)
+        allocator.free(entry)
+        with pytest.raises(ValueError):
+            allocator.free(entry)
+
+    eng.spawn(proc())
+    eng.run()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_swap_cache_random_ops_match_shadow_model(seed):
+    rng = np.random.default_rng(derive_seed(seed, "cache-props"))
+    part = SwapPartition("p", 128)
+    cache = SwapCache("c", capacity_pages=32)
+    entries = [part.pop_free() for _ in range(96)]
+    pages = {e.entry_id: Page(vpn=i, owner_name="a") for i, e in enumerate(entries)}
+    shadow = {}
+
+    for _ in range(2000):
+        entry = entries[int(rng.integers(0, len(entries)))]
+        op = rng.random()
+        if op < 0.35:  # insert (only if absent, as the kernel guarantees)
+            if entry.entry_id in shadow:
+                with pytest.raises(ValueError):
+                    cache.insert(entry, pages[entry.entry_id])
+            else:
+                cache.insert(
+                    entry, pages[entry.entry_id], prefetched=bool(rng.random() < 0.3)
+                )
+                shadow[entry.entry_id] = pages[entry.entry_id]
+        elif op < 0.6:  # fault-path lookup
+            hit = cache.lookup(entry)
+            assert (hit is not None) == (entry.entry_id in shadow)
+            if hit is not None:
+                assert hit is shadow[entry.entry_id]
+        elif op < 0.8:  # remove/discard
+            if entry.entry_id in shadow:
+                page = cache.remove(entry)
+                assert page is shadow.pop(entry.entry_id)
+                assert not page.in_swap_cache
+            else:
+                assert cache.discard(entry) is None
+        elif shadow and op < 0.9:  # shrink pass over LRU candidates
+            for entry_id, page in cache.shrink_candidates(int(rng.integers(1, 4))):
+                assert page is shadow.pop(entry_id)
+                released = cache.release(entry_id)
+                assert released is page
+        else:  # peek never perturbs state
+            lookups_before = cache.stats.lookups
+            assert (cache.peek(entry) is not None) == (entry.entry_id in shadow)
+            assert cache.stats.lookups == lookups_before
+        # Membership and flags always agree with the model.
+        assert len(cache) == len(shadow)
+        assert (entry in cache) == (entry.entry_id in shadow)
+
+    for entry in entries:
+        assert pages[entry.entry_id].in_swap_cache == (entry.entry_id in shadow)
+    stats = cache.stats
+    assert stats.insertions == stats.removals + stats.shrink_evictions + len(cache)
+    assert stats.hits + stats.misses == stats.lookups
+
+
+# -- End-state reconciliation on a live system, faulted or not -----------
+
+
+@pytest.mark.parametrize("faulted", [False, True])
+def test_system_end_state_reconciles(faulted):
+    machine = Machine(seed=2)
+    system, app, vma = build_system(machine)
+    if faulted:
+        plan = FaultPlan(
+            FaultConfig(
+                drop_prob=0.02,
+                completion_error_prob=0.01,
+                retransmit_timeout_us=50.0,
+            ),
+            seed=2,
+        )
+        machine.nic.fault_plan = plan
+        system.fault_plan = plan
+    proc = spawn_app(system, app, [sequential_accesses(vma, 4000, write=True)])
+    run_to_completion(machine.engine, [proc])
+    machine.engine.run(until=machine.engine.now + 200_000)
+
+    assert app.finished_at_us is not None
+    # No two pages share a swap entry, and every referenced entry is
+    # still marked allocated (a double-free would have recycled one).
+    referenced = [
+        p.swap_entry for p in app.space.pages.values() if p.swap_entry is not None
+    ]
+    ids = [e.entry_id for e in referenced]
+    assert len(ids) == len(set(ids))
+    assert all(e.allocated for e in referenced)
+    # Frame-pool ledger balances and nothing is left in flight.
+    pool = app.pool
+    assert pool.stats.charges - pool.stats.uncharges == pool.used
+    assert 0 <= pool.used <= pool.capacity_pages
+    assert system._inflight == {}
+    assert system._inflight_req == {}
+    assert all(n == 0 for n in system._outstanding_writebacks.values())
+    if faulted:
+        stats = machine.nic.stats
+        assert (
+            stats.wire_drops + stats.completion_errors
+            == stats.retransmits + stats.transport_failures
+        )
