@@ -15,6 +15,10 @@ Attribute the simulator's own wall-clock time to subsystems::
 
     canvas-sim profile --system canvas --apps memcached neo4j
 
+Record a Perfetto-loadable trace of a faulted co-run and lint it::
+
+    canvas-sim trace --apps snappy memcached --scenario degraded
+
 Inspect or clear the persistent result cache (``$REPRO_CACHE_DIR``)::
 
     canvas-sim cache info
@@ -129,6 +133,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-baseline",
         action="store_true",
         help="skip the fault-free reference run (no slowdown column)",
+    )
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run with the simulation-time tracer, dump a Perfetto/Chrome "
+        "trace, print per-cgroup timelines, and lint the trace for "
+        "causality violations",
+    )
+    _add_common(trace_cmd)
+    trace_cmd.add_argument(
+        "--scenario",
+        default=None,
+        choices=sorted(SCENARIOS),
+        help="optionally run under a named fault scenario",
+    )
+    trace_cmd.add_argument(
+        "--out",
+        default="canvas-trace.json",
+        metavar="PATH",
+        help="Chrome trace_event JSON output (load in ui.perfetto.dev)",
+    )
+    trace_cmd.add_argument(
+        "--capacity",
+        type=int,
+        default=2_000_000,
+        metavar="N",
+        help="trace ring-buffer capacity in records",
     )
 
     cache_cmd = sub.add_parser(
@@ -307,6 +338,42 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from dataclasses import replace
+
+    from repro.metrics.report import format_trace_summary
+    from repro.obs import check_trace, dump_chrome_trace
+
+    config = replace(_config(args), trace=True, trace_capacity=args.capacity)
+    if args.scenario is not None:
+        config = replace(config, fault_config=SCENARIOS[args.scenario])
+        print(f"running scenario {args.scenario!r} with tracing ...", file=sys.stderr)
+    else:
+        print("running with tracing ...", file=sys.stderr)
+    result = run_experiment(args.apps, config)
+    trace = result.trace
+    records = trace.records()
+    dump_chrome_trace(args.out, records)
+    print(
+        f"wrote {args.out} ({len(records)} records"
+        + (", ring truncated" if trace.truncated else "")
+        + ")",
+        file=sys.stderr,
+    )
+    print(f"trace: {args.system} / {', '.join(args.apps)}")
+    print(format_trace_summary(trace.summarize()))
+    violations = check_trace(records, truncated=trace.truncated)
+    if violations:
+        print()
+        print(f"invariant checker: {len(violations)} violation(s)")
+        for violation in violations[:20]:
+            print(f"  {violation}")
+        return 1
+    print()
+    print("invariant checker: ok")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = default_disk_cache()
     if cache is None:
@@ -346,6 +413,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_profile(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_list(args)

@@ -35,6 +35,7 @@ from repro.kernel.swap_system import BaseSwapSystem, SwapSystemConfig
 from repro.kernel.telemetry import Telemetry
 from repro.kernel.userfaultfd import UserfaultfdChannel
 from repro.mem.page import Page, PageState
+from repro.obs.trace import DEMAND_ISSUE, PF_DROP
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.readahead import KernelReadahead
 from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
@@ -159,6 +160,7 @@ class CanvasSwapSystem(BaseSwapSystem):
         base_alloc = FreeListAllocator(
             self.engine, state.partition, name=f"{app.name}.alloc"
         )
+        base_alloc.tracer = self.trace
         state.allocator = base_alloc
         if self.canvas.adaptive_allocation:
             state.adaptive = AdaptiveSwapManager(
@@ -195,6 +197,12 @@ class CanvasSwapSystem(BaseSwapSystem):
             if runtime is not None and hasattr(runtime, "handle_forwarded_fault"):
                 state.uffd.register_handler(runtime.handle_forwarded_fault)
         self._state[app.name] = state
+
+    def _attach_tracer_extra(self, tracer) -> None:
+        self.global_allocator.tracer = tracer
+        for state in self._state.values():
+            if state.allocator is not None:
+                state.allocator.tracer = tracer
 
     def attach_runtime_handler(self, app: AppContext) -> None:
         """Bind a runtime attached after registration to the uffd channel."""
@@ -333,6 +341,8 @@ class CanvasSwapSystem(BaseSwapSystem):
     ) -> Generator:
         """The faulting thread gives up on a late prefetch (§5.3)."""
         app.stats.prefetch_drops += 1
+        if self.trace is not None:
+            self.trace.emit(PF_DROP, app.name, 0, page.vpn, "stale")
         self._dec_inflight_prefetch(request.app_name)
         request.entry.valid = False  # in-service copy discards itself
         request.dropped = True  # still-queued copy is skipped
@@ -351,6 +361,8 @@ class CanvasSwapSystem(BaseSwapSystem):
             RdmaOp.READ, RequestKind.DEMAND, app.name, request.entry, page
         )
         self._inflight_req[page] = demand
+        if self.trace is not None:
+            self.trace.emit(DEMAND_ISSUE, app.name, 0, page.vpn, demand.request_id)
         self._submit_read(app, demand)
         yield new_event
 
@@ -363,6 +375,8 @@ class CanvasSwapSystem(BaseSwapSystem):
         if self._inflight_req.get(page) is not request:
             return  # already superseded by a demand reissue
         del self._inflight_req[page]
+        if self.trace is not None:
+            self.trace.emit(PF_DROP, app.name, 0, page.vpn, "sched")
         if request.kind is RequestKind.PREFETCH:
             self._dec_inflight_prefetch(request.app_name)
         event = self._inflight.pop(page, None)

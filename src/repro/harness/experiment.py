@@ -32,6 +32,7 @@ from repro.kernel.swap_system import (
     LinuxSwapSystem,
     SwapSystemConfig,
 )
+from repro.obs.trace import TraceBuffer
 from repro.prefetch.base import Prefetcher
 from repro.prefetch.leap import LeapPrefetcher
 from repro.prefetch.readahead import KernelReadahead
@@ -112,6 +113,14 @@ class ExperimentConfig:
     #: the pre-fault code path exactly; a zero-rate config is attached
     #: but injects nothing, producing bit-identical results either way.
     fault_config: Optional[FaultConfig] = None
+    #: Record a simulation-time event trace (:mod:`repro.obs`).  Tracing
+    #: never touches the engine schedule or RNG, so a traced run produces
+    #: bit-identical results; with ``False`` the tracepoint branches are
+    #: single ``is None`` tests and no buffer exists at all.
+    trace: bool = False
+    #: Trace ring-buffer capacity in records; the oldest records are
+    #: overwritten once full (``result.trace.truncated`` reports it).
+    trace_capacity: int = 2_000_000
 
     def cores_for(self, workload: Workload) -> int:
         if workload.name in self.cores_override:
@@ -141,11 +150,13 @@ class ExperimentResult:
         system: BaseSwapSystem,
         apps: Dict[str, AppContext],
         elapsed_us: float,
+        trace: Optional[TraceBuffer] = None,
     ):
         self.machine = machine
         self.system = system
         self.apps = apps
         self.elapsed_us = elapsed_us
+        self.trace = trace
         self.telemetry = machine.telemetry
         self.results: Dict[str, AppResult] = {}
         for name, app in apps.items():
@@ -318,6 +329,13 @@ def run_experiment(
         machine.nic.fault_plan = fault_plan
         system.fault_plan = fault_plan
 
+    # The tracer attaches before any app registers so per-app structures
+    # (LRU lists, allocators) pick it up as they are created.
+    tracer = None
+    if config.trace:
+        tracer = TraceBuffer(machine.engine, capacity=config.trace_capacity)
+        system.attach_tracer(tracer)
+
     apps: Dict[str, AppContext] = {}
     processes = []
     for workload, local_pages, remote_pages in sizing:
@@ -378,7 +396,7 @@ def run_experiment(
             perf_counter() - wall_start,
             sum(app.stats.accesses for app in apps.values()),
         )
-    return ExperimentResult(machine, system, apps, elapsed)
+    return ExperimentResult(machine, system, apps, elapsed, trace=tracer)
 
 
 def run_individual(

@@ -173,4 +173,7 @@ def snapshot_result_state(result) -> dict:
         "elapsed_us": result.elapsed_us,
         "telemetry": result.telemetry,
         "results": result.results,
+        # TraceBuffer drops its engine reference when pickled; the
+        # records themselves are plain tuples.
+        "trace": getattr(result, "trace", None),
     }

@@ -30,6 +30,26 @@ from typing import Dict, Generator, List, Optional
 from repro.kernel.cgroup import AppContext
 from repro.kernel.telemetry import Telemetry
 from repro.mem.page import Page
+from repro.obs.trace import (
+    CLEAN_DROP,
+    DEMAND_ISSUE,
+    DEMAND_RETRY,
+    EVICT,
+    FAULT_BEGIN,
+    FAULT_END,
+    FAULT_PARK,
+    FAULT_WAKE,
+    PF_CANCEL,
+    PF_HIT,
+    PF_ISSUE,
+    PF_LATE,
+    PF_PROPOSE,
+    REQ_ACQUIRE,
+    WB_COMPLETE,
+    WB_ISSUE,
+    WB_RESCUE,
+    WB_RETRY,
+)
 from repro.prefetch.base import Prefetcher
 from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
 from repro.rdma.nic import RNIC, PhysicalQP
@@ -124,7 +144,29 @@ class BaseSwapSystem:
         #: harness alongside ``nic.fault_plan``; subsystems the kernel
         #: builds later (e.g. demand-driven remote memory) read it here.
         self.fault_plan = None
+        #: Optional :class:`repro.obs.TraceBuffer`; attach via
+        #: :meth:`attach_tracer`.  Every tracepoint in the swap path is
+        #: one ``is not None`` check while this stays unset, and no
+        #: tracepoint touches engine scheduling or RNG state, so tracing
+        #: never changes simulated results.
+        self.trace = None
         self.nic.completion_hooks.append(self.telemetry.on_rdma_completion)
+
+    def attach_tracer(self, tracer) -> None:
+        """Wire a :class:`repro.obs.TraceBuffer` through the stack.
+
+        Covers the NIC, the swap-entry allocator(s), and the per-app
+        LRUs; apps registered after this call pick the tracer up in
+        :meth:`register_app`.
+        """
+        self.trace = tracer
+        self.nic.tracer = tracer
+        self._attach_tracer_extra(tracer)
+        for app in self.apps.values():
+            app.lru.tracer = tracer
+
+    def _attach_tracer_extra(self, tracer) -> None:
+        """Subclass hook: propagate the tracer into subsystem objects."""
 
     # ------------------------------------------------------------------
     # Policy hooks (overridden by Linux / Fastswap / Canvas variants)
@@ -178,6 +220,10 @@ class BaseSwapSystem:
             )
             request.owner = self
         request.completion.add_callback(request)
+        if self.trace is not None:
+            self.trace.emit(
+                REQ_ACQUIRE, app_name, 0, request.pool_serial, request.request_id
+            )
         return request
 
     def _request_completed(self, request: RdmaRequest) -> None:
@@ -271,6 +317,15 @@ class BaseSwapSystem:
             raise ValueError(f"app {app.name!r} already registered")
         self.apps[app.name] = app
         self._setup_app(app)
+        if self.trace is not None:
+            app.lru.tracer = self.trace
+        # Teach the app's prefetcher the valid address ranges so stride
+        # proposals can be clamped to the faulting VMA (readahead never
+        # crosses a mapping boundary).
+        prefetcher = self._prefetcher_for(app)
+        if prefetcher is not None:
+            for vma in app.space.vmas:
+                prefetcher.note_region(app.name, vma.start_vpn, vma.end_vpn)
         self._kswapd_kick[app.name] = None
         self._kswapd_park[app.name] = Event(self.engine, f"kswapd.{app.name}.kick")
         self.engine.spawn(self._kswapd_loop(app), name=f"kswapd.{app.name}")
@@ -528,6 +583,9 @@ class BaseSwapSystem:
         page = app.space.page(vpn)
         stats.faults += 1
         start = engine.now
+        tr = self.trace
+        if tr is not None:
+            tr.emit(FAULT_BEGIN, app.name, thread_id, vpn, 1 if write else 0)
         yield engine.sleep(self.config.fault_overhead_us)
 
         cache = self._cache_for(app, page)
@@ -548,6 +606,8 @@ class BaseSwapSystem:
                         # distribution.
                         if not page.locked:
                             stats.prefetch_cache_hits += 1
+                            if tr is not None:
+                                tr.emit(PF_HIT, app.name, thread_id, vpn)
                             self.telemetry.timeliness_hist(app.name).record(
                                 engine.now - page.prefetched_at_us
                             )
@@ -593,6 +653,8 @@ class BaseSwapSystem:
                 self._map_in(app, page, write)
                 if rescuing:
                     stats.writeback_rescues += 1
+                    if tr is not None:
+                        tr.emit(WB_RESCUE, app.name, thread_id, vpn)
                     # Detach the in-flight writeback from the page so a
                     # later re-eviction can track its own I/O; its
                     # completion sees itself superseded and does nothing.
@@ -606,7 +668,13 @@ class BaseSwapSystem:
             if event is not None:
                 if page.prefetched:
                     stats.blocked_on_prefetch += 1
+                    if tr is not None:
+                        tr.emit(PF_LATE, app.name, thread_id, vpn)
+                if tr is not None:
+                    tr.emit(FAULT_PARK, app.name, thread_id, vpn)
                 yield from self._wait_inflight(app, page, thread_id, event)
+                if tr is not None:
+                    tr.emit(FAULT_WAKE, app.name, thread_id, vpn)
                 continue  # re-evaluate: mapped by writeback drop, cached, ...
 
             # Demand swap-in.
@@ -629,12 +697,20 @@ class BaseSwapSystem:
             # §5.3: a demand request clears the entry's prefetch timestamp
             # so later faulting threads block instead of re-issuing.
             entry.timestamp_us = None
+            if tr is not None:
+                tr.emit(DEMAND_ISSUE, app.name, thread_id, vpn, request.request_id)
             self._submit_read(app, request)
             self._issue_prefetches(app, thread_id, vpn)
+            if tr is not None:
+                tr.emit(FAULT_PARK, app.name, thread_id, vpn)
             yield from self._wait_inflight(app, page, thread_id, event)
+            if tr is not None:
+                tr.emit(FAULT_WAKE, app.name, thread_id, vpn)
             # Loop: the completion unlocked the page; next pass maps it.
 
         stats.fault_stall_us += engine.now - start
+        if tr is not None:
+            tr.emit(FAULT_END, app.name, thread_id, vpn, engine.now - start)
         for hook in self.fault_hooks:
             hook(app.name, thread_id, vpn, start, engine.now)
 
@@ -702,6 +778,8 @@ class BaseSwapSystem:
                 f"persistently failing"
             )
         app.stats.demand_retries += 1
+        if self.trace is not None:
+            self.trace.emit(DEMAND_RETRY, app.name, 0, page.vpn, retries)
         retry = self._acquire_request(
             RdmaOp.READ, RequestKind.DEMAND, app.name, request.entry, page
         )
@@ -716,6 +794,8 @@ class BaseSwapSystem:
         """Unwind a failed prefetch completely (mirrors a scheduler drop)."""
         page = request.page
         app.stats.prefetches_cancelled += 1
+        if self.trace is not None:
+            self.trace.emit(PF_CANCEL, app.name, 0, page.vpn, request.request_id)
         self._dec_inflight_prefetch(request.app_name)
         del self._inflight_req[page]
         event = self._inflight.pop(page, None)
@@ -754,6 +834,8 @@ class BaseSwapSystem:
                 f"persistently failing"
             )
         app.stats.writeback_retries += 1
+        if self.trace is not None:
+            self.trace.emit(WB_RETRY, app.name, 0, page.vpn, retries)
         retry = self._acquire_request(
             RdmaOp.WRITE, RequestKind.SWAPOUT, app.name, request.entry, page
         )
@@ -776,6 +858,8 @@ class BaseSwapSystem:
         proposals = prefetcher.on_fault(
             app.name, thread_id, vpn, self.engine.now, prefetched_hit=prefetched_hit
         )
+        if self.trace is not None and proposals:
+            self.trace.emit(PF_PROPOSE, app.name, thread_id, vpn, len(proposals))
         issued = self.issue_prefetch_vpns(app, proposals)
         self._post_prefetch_hook(app, thread_id, vpn, issued, prefetched_hit)
 
@@ -831,6 +915,8 @@ class BaseSwapSystem:
                 RdmaOp.READ, RequestKind.PREFETCH, app.name, entry, page
             )
             self._inflight_req[page] = request
+            if self.trace is not None:
+                self.trace.emit(PF_ISSUE, app.name, 0, vpn, request.request_id)
             self._submit_read(app, request)
             issued += 1
             budget -= 1
@@ -883,6 +969,9 @@ class BaseSwapSystem:
             return False
         victim.resident = False
         victim.referenced = False
+        tr = self.trace
+        if tr is not None:
+            tr.emit(EVICT, app.name, core_id, victim.vpn, 1 if victim.dirty else 0)
         self._on_evicted(app, victim)
         cache = self._cache_for(app, victim)
 
@@ -890,6 +979,8 @@ class BaseSwapSystem:
             # Remote copy still valid (kept entry): drop without writeback.
             app.pool.uncharge(1)
             app.stats.clean_drops += 1
+            if tr is not None:
+                tr.emit(CLEAN_DROP, app.name, core_id, victim.vpn)
             # Still a swap-out for throughput purposes: the page left
             # local memory and lives remotely (its write was just free).
             self.telemetry.swapout_rate(app.name).record(self.engine.now)
@@ -913,6 +1004,8 @@ class BaseSwapSystem:
             RdmaOp.WRITE, RequestKind.SWAPOUT, app.name, entry, victim
         )
         self._inflight_req[victim] = request
+        if tr is not None:
+            tr.emit(WB_ISSUE, app.name, core_id, victim.vpn, request.request_id)
         self._outstanding_writebacks[app.name] = (
             self._outstanding_writebacks.get(app.name, 0) + 1
         )
@@ -933,6 +1026,10 @@ class BaseSwapSystem:
         if self._inflight_req.get(page) is not request:
             return  # superseded: the page was rescued and re-evicted
         del self._inflight_req[page]
+        if self.trace is not None:
+            self.trace.emit(
+                WB_COMPLETE, app.name, 0, page.vpn, request.request_id
+            )
         event = self._inflight.pop(page, None)
         if not page.resident:
             # A rescued (resident) page keeps its frame and dirty state;
@@ -1044,6 +1141,9 @@ class LinuxSwapSystem(BaseSwapSystem):
 
     def _setup_app(self, app: AppContext) -> None:
         pass  # nothing per-app: that is the point of this baseline
+
+    def _attach_tracer_extra(self, tracer) -> None:
+        self.allocator.tracer = tracer
 
     def _cache_for(self, app: AppContext, page: Page) -> SwapCache:
         return self.cache

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, Iterator, List, Optional
 
 from repro.mem.page import Page
+from repro.obs.trace import LRU_DEMOTE
 
 __all__ = ["LRUList", "ActiveInactiveLRU"]
 
@@ -95,6 +96,7 @@ class ActiveInactiveLRU:
         self.name = name
         self.active = LRUList(f"{name}.active")
         self.inactive = LRUList(f"{name}.inactive")
+        self.tracer = None
 
     def __len__(self) -> int:
         return len(self.active) + len(self.inactive)
@@ -145,6 +147,8 @@ class ActiveInactiveLRU:
             page.referenced = False
             self.inactive.add_to_head(page)
             demoted += 1
+        if demoted and self.tracer is not None:
+            self.tracer.emit(LRU_DEMOTE, self.name, 0, len(self.inactive), demoted)
         return demoted
 
     def select_victim(self) -> Optional[Page]:

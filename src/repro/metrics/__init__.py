@@ -9,6 +9,7 @@ from repro.metrics.collectors import (
 from repro.metrics.profiler import SimProfiler
 from repro.metrics.report import (
     FAULT_STALL_HEADERS,
+    TRACE_SUMMARY_HEADERS,
     fault_stall_rows,
     format_cache_summary,
     format_cdf,
@@ -16,6 +17,8 @@ from repro.metrics.report import (
     format_run_log,
     format_series,
     format_table,
+    format_trace_summary,
+    trace_summary_rows,
 )
 
 __all__ = [
@@ -25,6 +28,7 @@ __all__ = [
     "RateMeter",
     "weighted_min_max_ratio",
     "FAULT_STALL_HEADERS",
+    "TRACE_SUMMARY_HEADERS",
     "fault_stall_rows",
     "format_cache_summary",
     "format_cdf",
@@ -32,4 +36,6 @@ __all__ = [
     "format_run_log",
     "format_series",
     "format_table",
+    "format_trace_summary",
+    "trace_summary_rows",
 ]

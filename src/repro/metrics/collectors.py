@@ -9,10 +9,12 @@ on the simulation's hot paths.
 from __future__ import annotations
 
 import math
-from bisect import bisect_right
+import random
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.sim.rng import derive_seed
 
 __all__ = ["Histogram", "RateMeter", "BandwidthMeter", "weighted_min_max_ratio"]
 
@@ -21,7 +23,10 @@ class Histogram:
     """A sample reservoir with exact quantiles (samples kept in memory).
 
     Simulated experiments produce 1e4-1e6 samples, which comfortably fit;
-    ``max_samples`` caps memory with uniform thinning if exceeded.
+    ``max_samples`` caps memory.  Past the cap the reservoir follows
+    Vitter's Algorithm R, so the kept set stays a uniform sample of
+    everything recorded; the RNG is seeded from the histogram's name,
+    keeping identically-driven runs bit-identical.
     """
 
     def __init__(self, name: str = "", max_samples: int = 2_000_000):
@@ -32,6 +37,9 @@ class Histogram:
         #: Memoized percentile queries; hot paths (the scheduler's
         #: timeliness threshold) ask for the same q between samples.
         self._pcache: Dict[float, float] = {}
+        #: Created lazily on the first post-cap record, so histograms
+        #: that never overflow (the common case) pay nothing.
+        self._reservoir_rng: Optional[random.Random] = None
         self.count = 0
         self.total = 0.0
         self.max_value = -math.inf
@@ -48,8 +56,18 @@ class Histogram:
             self._samples.append(value)
             self._sorted = None
             self._pcache.clear()
-        elif self.count % 2 == 0:  # thin deterministically once full
-            self._samples[self.count % self.max_samples] = value
+            return
+        # Algorithm R: the new value replaces a uniformly chosen slot
+        # with probability max_samples / count, so every recorded value
+        # (early or late) ends up retained with equal probability.
+        rng = self._reservoir_rng
+        if rng is None:
+            rng = self._reservoir_rng = random.Random(
+                derive_seed(0, self.name or "histogram")
+            )
+        slot = rng.randrange(self.count)
+        if slot < self.max_samples:
+            self._samples[slot] = value
             self._sorted = None
             self._pcache.clear()
 
@@ -92,7 +110,7 @@ class Histogram:
         data = self._ensure_sorted()
         if data.size == 0:
             return 0.0
-        index = bisect_right(data.tolist(), threshold)
+        index = int(np.searchsorted(data, threshold, side="right"))
         return 1.0 - index / data.size
 
     @property
@@ -179,7 +197,14 @@ class BandwidthMeter:
         """
         bins = self._bins.get(stream, {})
         limit = int(until_us // self.bin_us)
-        return sum(b for i, b in bins.items() if i < limit)
+        total = sum(b for i, b in bins.items() if i < limit)
+        # The bin containing ``until_us`` is partially covered; count it
+        # pro-rata rather than dropping it (bytes within a bin are taken
+        # as uniformly spread, the meter's finest resolution).
+        fraction = (until_us - limit * self.bin_us) / self.bin_us
+        if fraction > 0.0:
+            total += bins.get(limit, 0.0) * fraction
+        return total
 
     def total_mean_mbps(self, elapsed_us: float) -> float:
         if elapsed_us <= 0:

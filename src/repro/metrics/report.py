@@ -17,6 +17,9 @@ __all__ = [
     "FAULT_STALL_HEADERS",
     "fault_stall_rows",
     "format_fault_summary",
+    "TRACE_SUMMARY_HEADERS",
+    "trace_summary_rows",
+    "format_trace_summary",
 ]
 
 
@@ -129,6 +132,56 @@ def fault_stall_rows(results: Dict[str, object]) -> List[List]:
             ]
         )
     return rows
+
+
+#: Column set produced by :func:`trace_summary_rows` (trace CLI).
+TRACE_SUMMARY_HEADERS = [
+    "app",
+    "span (ms)",
+    "faults",
+    "stall (ms)",
+    "demand",
+    "pf issued",
+    "pf hits",
+    "pf late",
+    "evictions",
+    "writebacks",
+    "rdma q (ms)",
+    "rdma svc (ms)",
+    "rtx",
+]
+
+
+def trace_summary_rows(summary: Dict[str, Dict[str, float]]) -> List[List]:
+    """Per-cgroup timeline rows from :func:`repro.obs.summarize_trace`."""
+    rows = []
+    for name in sorted(summary):
+        if not name:  # allocator records carry no cgroup attribution
+            continue
+        s = summary[name]
+        rows.append(
+            [
+                name,
+                (s["last_us"] - s["first_us"]) / 1000,
+                s["faults"],
+                s["fault_stall_us"] / 1000,
+                s["demand_issued"],
+                s["prefetch_issued"],
+                s["prefetch_hits"],
+                s["prefetch_late"],
+                s["evictions"],
+                s["writebacks"],
+                s["rdma_queue_us"] / 1000,
+                s["rdma_service_us"] / 1000,
+                s["retransmits"],
+            ]
+        )
+    return rows
+
+
+def format_trace_summary(summary: Dict[str, Dict[str, float]]) -> str:
+    """Aligned per-cgroup timeline table for a recorded trace."""
+    return format_table(TRACE_SUMMARY_HEADERS, trace_summary_rows(summary))
 
 
 def format_fault_summary(nic_stats) -> str:

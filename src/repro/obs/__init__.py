@@ -1,0 +1,31 @@
+"""Observability: simulation-clock tracing and trace-driven invariants.
+
+``repro.obs`` is zero-overhead when off: every tracepoint is a single
+``is not None`` attribute check until a :class:`TraceBuffer` is
+attached (``ExperimentConfig(trace=True)`` or
+``system.attach_tracer``).  See :mod:`repro.obs.trace` for the record
+format and exporters, :mod:`repro.obs.check` for the causality lints.
+"""
+
+from repro.obs.check import RULES, Violation, assert_trace_ok, check_trace
+from repro.obs.trace import (
+    KIND_NAMES,
+    TraceBuffer,
+    TraceRecord,
+    dump_chrome_trace,
+    summarize_trace,
+    to_chrome_trace,
+)
+
+__all__ = [
+    "TraceBuffer",
+    "TraceRecord",
+    "KIND_NAMES",
+    "to_chrome_trace",
+    "dump_chrome_trace",
+    "summarize_trace",
+    "check_trace",
+    "assert_trace_ok",
+    "Violation",
+    "RULES",
+]

@@ -1,0 +1,286 @@
+"""Trace-driven invariant checking: causality lints over swap traces.
+
+Where the fault suite asserts digest equality ("the numbers didn't
+change"), these lints assert *semantics* ("the events could actually
+have happened in this order").  They run post-hoc over any record list
+from :class:`repro.obs.trace.TraceBuffer` — in tests, in CI over the
+chaos scenarios, and from ``canvas-sim trace``.
+
+Rules (names are the ``Violation.rule`` values):
+
+* ``completion-before-issue`` — a transfer completes only after it was
+  enqueued and served, in that order.
+* ``entry-double-free`` / ``entry-double-alloc`` — a swap entry's
+  alloc/free records alternate: no free-after-free, no alloc-after-alloc.
+* ``retransmit-without-fault`` — every retransmit is preceded by at
+  least as many wire drops / completion errors for the same request.
+* ``pool-live-twice`` — a pooled request object is never acquired while
+  a previous life is still outstanding (and never recycled twice).
+* ``park-without-wake`` — a thread parked on in-flight I/O is always
+  woken before the simulation ends.
+* ``fault-nesting`` — per (app, thread), fault begin/end records are
+  balanced and never nest.
+
+On a truncated trace (the ring wrapped), missing-*predecessor* findings
+are suppressed — the predecessor may simply have been overwritten — but
+wrong-order and unmatched-*end-of-trace* findings still fire: a record
+later than a retained one was never dropped by the ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.obs.trace import (
+    ENTRY_ALLOC,
+    ENTRY_FREE,
+    FAULT_BEGIN,
+    FAULT_END,
+    FAULT_PARK,
+    FAULT_WAKE,
+    QP_COMPLETE,
+    QP_ENQ,
+    QP_ERROR_CQE,
+    QP_SERVE,
+    REQ_ACQUIRE,
+    REQ_RECYCLE,
+    RETRANSMIT,
+    WIRE_DROP,
+    WIRE_ERROR,
+    TraceRecord,
+)
+
+__all__ = ["Violation", "check_trace", "assert_trace_ok", "RULES"]
+
+RULES = [
+    "completion-before-issue",
+    "entry-double-free",
+    "entry-double-alloc",
+    "retransmit-without-fault",
+    "pool-live-twice",
+    "park-without-wake",
+    "fault-nesting",
+]
+
+
+@dataclass
+class Violation:
+    """One broken invariant, anchored at the offending record's time."""
+
+    rule: str
+    t_us: float
+    app: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover
+        return f"[{self.rule}] t={self.t_us:.3f}us app={self.app or '-'}: {self.message}"
+
+
+def check_trace(
+    records: List[TraceRecord], truncated: bool = False
+) -> List[Violation]:
+    """Run every causality lint; returns all violations found (in order)."""
+    violations: List[Violation] = []
+
+    # completion-before-issue state: request id -> (enq_t, serve_t).
+    enq_t: Dict[int, float] = {}
+    serve_t: Dict[int, float] = {}
+    # entry alloc/free alternation: entry id -> "allocated" | "free".
+    # Entries first seen mid-life (prepopulation happens before tracing
+    # hooks see them) start untracked and adopt whichever state appears.
+    entry_state: Dict[int, str] = {}
+    # retransmit accounting: request id -> injected faults seen so far.
+    fault_count: Dict[int, int] = {}
+    rtx_count: Dict[int, int] = {}
+    # pooled-request liveness: serials currently out of the pool.
+    live_serials: Set[int] = set()
+    seen_serials: Set[int] = set()
+    # parked waiters: (app, thread) -> (vpn, t).
+    parked: Dict[Tuple[str, int], Tuple[int, float]] = {}
+    # open faults: (app, thread) -> (vpn, t).
+    fault_open: Dict[Tuple[str, int], Tuple[int, float]] = {}
+
+    for t, kind, app, thread, key, arg in records:
+        if kind == QP_ENQ:
+            enq_t[key] = t
+            serve_t.pop(key, None)
+        elif kind == QP_SERVE:
+            begin = enq_t.get(key)
+            if begin is None:
+                if not truncated:
+                    violations.append(
+                        Violation(
+                            "completion-before-issue",
+                            t,
+                            app,
+                            f"request {key} served without an enqueue",
+                        )
+                    )
+            elif t < begin:
+                violations.append(
+                    Violation(
+                        "completion-before-issue",
+                        t,
+                        app,
+                        f"request {key} served at {t} before enqueue at {begin}",
+                    )
+                )
+            serve_t[key] = t
+        elif kind in (QP_COMPLETE, QP_ERROR_CQE):
+            begin = serve_t.pop(key, None)
+            if begin is None:
+                if not truncated:
+                    violations.append(
+                        Violation(
+                            "completion-before-issue",
+                            t,
+                            app,
+                            f"request {key} completed without being served",
+                        )
+                    )
+            elif t < begin:
+                violations.append(
+                    Violation(
+                        "completion-before-issue",
+                        t,
+                        app,
+                        f"request {key} completed at {t} before service at {begin}",
+                    )
+                )
+            enq_t.pop(key, None)
+        elif kind == ENTRY_ALLOC:
+            if entry_state.get(key) == "allocated":
+                violations.append(
+                    Violation(
+                        "entry-double-alloc",
+                        t,
+                        app,
+                        f"entry {key} allocated while already allocated",
+                    )
+                )
+            entry_state[key] = "allocated"
+        elif kind == ENTRY_FREE:
+            if entry_state.get(key) == "free":
+                violations.append(
+                    Violation(
+                        "entry-double-free",
+                        t,
+                        app,
+                        f"entry {key} freed while already free",
+                    )
+                )
+            entry_state[key] = "free"
+        elif kind in (WIRE_DROP, WIRE_ERROR):
+            fault_count[key] = fault_count.get(key, 0) + 1
+        elif kind == RETRANSMIT:
+            rtx = rtx_count.get(key, 0) + 1
+            rtx_count[key] = rtx
+            if not truncated and rtx > fault_count.get(key, 0):
+                violations.append(
+                    Violation(
+                        "retransmit-without-fault",
+                        t,
+                        app,
+                        f"request {key} retransmitted {rtx}x with only "
+                        f"{fault_count.get(key, 0)} injected fault(s)",
+                    )
+                )
+        elif kind == REQ_ACQUIRE:
+            if key in live_serials:
+                violations.append(
+                    Violation(
+                        "pool-live-twice",
+                        t,
+                        app,
+                        f"pooled request serial {key} acquired while live "
+                        f"(request_id {arg})",
+                    )
+                )
+            live_serials.add(key)
+            seen_serials.add(key)
+        elif kind == REQ_RECYCLE:
+            if key not in live_serials and key in seen_serials:
+                violations.append(
+                    Violation(
+                        "pool-live-twice",
+                        t,
+                        app,
+                        f"pooled request serial {key} recycled while already "
+                        f"in the pool",
+                    )
+                )
+            live_serials.discard(key)
+        elif kind == FAULT_PARK:
+            parked[(app, thread)] = (key, t)
+        elif kind == FAULT_WAKE:
+            if (app, thread) not in parked and not truncated:
+                violations.append(
+                    Violation(
+                        "park-without-wake",
+                        t,
+                        app,
+                        f"thread {thread} woken at vpn {key:#x} without a park",
+                    )
+                )
+            parked.pop((app, thread), None)
+        elif kind == FAULT_BEGIN:
+            open_fault = fault_open.get((app, thread))
+            if open_fault is not None:
+                violations.append(
+                    Violation(
+                        "fault-nesting",
+                        t,
+                        app,
+                        f"thread {thread} faulted at vpn {key:#x} while a "
+                        f"fault at vpn {open_fault[0]:#x} is still open",
+                    )
+                )
+            fault_open[(app, thread)] = (key, t)
+        elif kind == FAULT_END:
+            if fault_open.pop((app, thread), None) is None and not truncated:
+                violations.append(
+                    Violation(
+                        "fault-nesting",
+                        t,
+                        app,
+                        f"thread {thread} ended a fault at vpn {key:#x} "
+                        f"that never began",
+                    )
+                )
+
+    # End-of-trace: a completed simulation leaves no thread parked and
+    # no fault open (the ring never drops a record newer than one it
+    # kept, so these fire on truncated traces too).
+    for (app, thread), (vpn, t) in parked.items():
+        violations.append(
+            Violation(
+                "park-without-wake",
+                t,
+                app,
+                f"thread {thread} parked on vpn {vpn:#x} was never woken",
+            )
+        )
+    for (app, thread), (vpn, t) in fault_open.items():
+        violations.append(
+            Violation(
+                "fault-nesting",
+                t,
+                app,
+                f"thread {thread}'s fault at vpn {vpn:#x} never ended",
+            )
+        )
+    return violations
+
+
+def assert_trace_ok(records: List[TraceRecord], truncated: bool = False) -> None:
+    """Raise ``AssertionError`` listing every violation, if any."""
+    violations = check_trace(records, truncated=truncated)
+    if violations:
+        lines = "\n".join(str(v) for v in violations[:20])
+        more = len(violations) - 20
+        if more > 0:
+            lines += f"\n... and {more} more"
+        raise AssertionError(
+            f"{len(violations)} trace invariant violation(s):\n{lines}"
+        )

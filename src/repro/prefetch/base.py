@@ -26,6 +26,9 @@ class PrefetcherStats:
     pages_proposed: int = 0
     patterns_found: int = 0
     no_pattern: int = 0
+    #: Proposals discarded because they fell outside the faulting VMA
+    #: (e.g. a negative stride walking past the region start).
+    proposals_clamped: int = 0
 
 
 class Prefetcher:
@@ -34,6 +37,14 @@ class Prefetcher:
     def __init__(self, name: str = "none"):
         self.name = name
         self.stats = PrefetcherStats()
+
+    def note_region(self, app_name: str, start_vpn: int, end_vpn: int) -> None:
+        """Register a valid VPN range ``[start_vpn, end_vpn)`` for an app.
+
+        The fault handler calls this once per VMA at registration so
+        policies that extrapolate addresses (stride windows) can clamp
+        their proposals to mapped memory.  The base policy ignores it.
+        """
 
     def on_fault(
         self,

@@ -67,6 +67,35 @@ class KernelReadahead(Prefetcher):
         self.max_window = max_window
         self.vma_bucket_pages = vma_bucket_pages
         self._buckets: Dict[Tuple[str, int], _BucketState] = {}
+        #: Mapped VPN ranges per app, as sorted ``(start, end)`` pairs.
+        self._regions: Dict[str, List[Tuple[int, int]]] = {}
+
+    def note_region(self, app_name: str, start_vpn: int, end_vpn: int) -> None:
+        regions = self._regions.setdefault(app_name, [])
+        regions.append((start_vpn, end_vpn))
+        regions.sort()
+
+    def _clamp(self, app_name: str, vpn: int, proposals: List[int]) -> List[int]:
+        """Drop proposed VPNs outside the VMA containing the fault.
+
+        Linux's VMA readahead never crosses the mapping boundary; without
+        this, a confirmed negative stride near the region start proposes
+        negative (or foreign) VPNs that would fault the simulator on
+        pages the app never mapped.
+        """
+        bounds = None
+        for start, end in self._regions.get(app_name, ()):
+            if start <= vpn < end:
+                bounds = (start, end)
+                break
+        if bounds is None:
+            # Unknown mapping (unregistered app): only drop impossible VPNs.
+            kept = [p for p in proposals if p >= 0]
+        else:
+            start, end = bounds
+            kept = [p for p in proposals if start <= p < end]
+        self.stats.proposals_clamped += len(proposals) - len(kept)
+        return kept
 
     def _bucket_for(self, app_name: str, vpn: int) -> _BucketState:
         key = (app_name, vpn // self.vma_bucket_pages)
@@ -119,9 +148,10 @@ class KernelReadahead(Prefetcher):
             # Silent; probe occasionally so hits can revive the window.
             state.silent_faults += 1
             if state.silent_faults % self.PROBE_INTERVAL == 0:
-                return self._propose([vpn + 1])
+                return self._propose(self._clamp(app_name, vpn, [vpn + 1]))
             return self._propose([])
         state.silent_faults = 0
         window = min(self.max_window, 1 << state.score)
         step = delta if stride_confirmed else 1
-        return self._propose([vpn + step * i for i in range(1, window + 1)])
+        proposals = [vpn + step * i for i in range(1, window + 1)]
+        return self._propose(self._clamp(app_name, vpn, proposals))

@@ -15,6 +15,7 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 from repro.mem.page import PAGE_SIZE
+from repro.obs.trace import REQ_RECYCLE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mem.page import Page
@@ -24,6 +25,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["RdmaOp", "RequestKind", "RdmaRequest"]
 
 _request_ids = itertools.count()
+_pool_serials = itertools.count()
 
 
 class RdmaOp(enum.Enum):
@@ -42,6 +44,7 @@ class RdmaRequest:
 
     __slots__ = (
         "request_id",
+        "pool_serial",
         "op",
         "kind",
         "app_name",
@@ -73,6 +76,10 @@ class RdmaRequest:
         completion: Optional["Event"] = None,
     ):
         self.request_id: int = next(_request_ids)
+        #: Construction-order identity of the *object*.  ``request_id``
+        #: is refreshed on every pooled reuse, so trace invariants about
+        #: the object's lifecycle (never live twice) key on this instead.
+        self.pool_serial: int = next(_pool_serials)
         self.op = op
         self.kind = kind
         self.app_name = app_name
@@ -153,6 +160,9 @@ class RdmaRequest:
         if self._in_pool:
             return
         self._in_pool = True
+        tr = getattr(self.owner, "trace", None)
+        if tr is not None:
+            tr.emit(REQ_RECYCLE, self.app_name, 0, self.pool_serial, self.request_id)
         self.entry = None
         self.page = None
         if self.completion._fired:

@@ -27,6 +27,16 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Callable, Deque, Dict, List, Optional
 
+from repro.obs.trace import (
+    QP_COMPLETE,
+    QP_DROP_SKIP,
+    QP_ENQ,
+    QP_ERROR_CQE,
+    QP_SERVE,
+    RETRANSMIT,
+    WIRE_DROP,
+    WIRE_ERROR,
+)
 from repro.rdma.message import RdmaOp, RdmaRequest, RequestKind
 from repro.sim.engine import Engine, Event
 
@@ -159,6 +169,9 @@ class RNIC:
         #: default) the dispatch loop takes the exact pre-fault code
         #: path; every injection site is gated on this attribute.
         self.fault_plan = None
+        #: Optional :class:`repro.obs.TraceBuffer`; every tracepoint is
+        #: a single ``is not None`` check while unset.
+        self.tracer = None
         #: Lazily created per-op retransmission QPs.  Priority -1 sorts
         #: ahead of every kernel QP, so a retried transfer re-enters
         #: service before new work — RC hardware replays from the send
@@ -212,6 +225,11 @@ class RNIC:
         """Post a request to a QP and kick the dispatcher."""
         if request.enqueued_at_us is None:
             request.enqueued_at_us = self.engine.now
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(
+                QP_ENQ, request.app_name, 0, request.request_id, request.kind.value
+            )
         qp.push(request)
         self._kick(request.op)
 
@@ -261,6 +279,14 @@ class RNIC:
                 continue
             if request.dropped:
                 self.stats.dropped_skipped += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        QP_DROP_SKIP,
+                        request.app_name,
+                        0,
+                        request.request_id,
+                        request.kind.value,
+                    )
                 for hook in self.dropped_hooks:
                     hook(request)
                 if request.owner is not None:
@@ -278,6 +304,11 @@ class RNIC:
             # it, so the release time is exactly the two-stage path's.
             now = engine.now
             request.issued_at_us = now
+            if self.tracer is not None:
+                self.tracer.emit(
+                    QP_SERVE, request.app_name, 0, request.request_id,
+                    request.kind.value,
+                )
             release = channel.reserve(now + self.verb_overhead_us, request.size_bytes)
             yield engine.sleep(release - now)
             # Propagation is pipelined: schedule completion off-loop.
@@ -305,6 +336,10 @@ class RNIC:
             yield engine.sleep(down_until - now)
             now = engine.now
         request.issued_at_us = now
+        if self.tracer is not None:
+            self.tracer.emit(
+                QP_SERVE, request.app_name, 0, request.request_id, request.kind.value
+            )
         scale = plan.bandwidth_scale(now)
         if scale != 1.0:
             self.stats.degraded_transfers += 1
@@ -336,11 +371,20 @@ class RNIC:
         stats = self.stats
         request.retries += 1
         attempt = request.retries
+        tr = self.tracer
         if verdict == _FAULT_DROP:
             stats.wire_drops += 1
+            if tr is not None:
+                tr.emit(
+                    WIRE_DROP, request.app_name, 0, request.request_id, attempt
+                )
             delay = plan.rto_us(attempt)
         else:
             stats.completion_errors += 1
+            if tr is not None:
+                tr.emit(
+                    WIRE_ERROR, request.app_name, 0, request.request_id, attempt
+                )
             delay = (
                 self.base_latency_us
                 + plan.rto_us(attempt) * plan.config.error_retry_scale
@@ -361,6 +405,10 @@ class RNIC:
         through the queue so the dispatch loop's drop path runs the hooks
         and recycles it — exactly like any other queued dropped request.
         """
+        if self.tracer is not None:
+            self.tracer.emit(
+                RETRANSMIT, request.app_name, 0, request.request_id, request.retries
+            )
         qp = self._rtx_qps.get(request.op)
         if qp is None:
             qp = self.create_qp(
@@ -380,6 +428,14 @@ class RNIC:
     def _complete_inner(self, request: RdmaRequest) -> None:
         request.completed_at_us = self.engine.now
         stats = self.stats
+        if self.tracer is not None:
+            self.tracer.emit(
+                QP_ERROR_CQE if request.error else QP_COMPLETE,
+                request.app_name,
+                0,
+                request.request_id,
+                request.kind.value,
+            )
         if request.error:
             # An error CQE: no data landed, so the byte and per-kind
             # counters stay untouched.  Hooks and the completion event

@@ -32,6 +32,7 @@ from typing import Dict, Generator, List, Optional
 
 import numpy as np
 
+from repro.obs.trace import ENTRY_ALLOC, ENTRY_FREE
 from repro.sim.engine import Engine
 from repro.sim.resources import SimLock
 from repro.swap.entry import SwapEntry
@@ -95,6 +96,16 @@ class EntryAllocator:
         self.partition = partition
         self.name = name or f"{partition.name}.alloc"
         self.stats = AllocatorStats()
+        #: Optional :class:`repro.obs.TraceBuffer`.  ``allocate`` emits
+        #: ENTRY_ALLOC when it hands an entry out and ``free`` emits
+        #: ENTRY_FREE, so alloc/free alternation per entry is checkable
+        #: post-hoc.  ``take_free_untimed`` (experiment setup) stays
+        #: untraced: prepopulation happens outside simulated time.
+        self.tracer = None
+
+    def _trace_alloc(self, entry: SwapEntry) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(ENTRY_ALLOC, "", 0, entry.entry_id, self.name)
 
     @property
     def occupancy(self) -> float:
@@ -111,6 +122,8 @@ class EntryAllocator:
 
     def free(self, entry: SwapEntry) -> None:
         """Return an entry to its partition's free pool (not timed)."""
+        if self.tracer is not None:
+            self.tracer.emit(ENTRY_FREE, "", 0, entry.entry_id, self.name)
         self.partition.push_free(entry)
         self.stats.frees += 1
 
@@ -158,6 +171,7 @@ class FreeListAllocator(EntryAllocator):
         finally:
             self.lock.release()
         self.stats.record(start, self.engine.now)
+        self._trace_alloc(entry)
         return entry
 
 
@@ -256,9 +270,12 @@ class PerCoreClusterAllocator(EntryAllocator):
             finally:
                 cluster.lock.release()
             self.stats.record(start, self.engine.now)
+            self._trace_alloc(entry)
             return entry
 
     def free(self, entry: SwapEntry) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(ENTRY_FREE, "", 0, entry.entry_id, self.name)
         entry.allocated = False
         entry.reserved = False
         entry.stored_vpn = None
@@ -323,6 +340,7 @@ class BatchAllocator(EntryAllocator):
                 raise RuntimeError(f"{self.name}: partition exhausted")
         entry = cache.pop()
         self.stats.record(start, self.engine.now)
+        self._trace_alloc(entry)
         return entry
 
 
@@ -388,4 +406,5 @@ class Linux514Allocator(PerCoreClusterAllocator):
                 break
         entry = batch.pop()
         self.stats.record(start, self.engine.now)
+        self._trace_alloc(entry)
         return entry

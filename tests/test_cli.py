@@ -77,3 +77,48 @@ def test_compare_with_csv(tmp_path, capsys):
     lines = csv_path.read_text().splitlines()
     assert lines[0].startswith("system,")
     assert len(lines) == 3  # header + one row per system
+
+
+def test_trace_command(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.json"
+    code = main(
+        [
+            "trace",
+            "--apps",
+            "snappy",
+            "--scale",
+            "0.08",
+            "--system",
+            "canvas",
+            "--out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "invariant checker: ok" in out
+    assert "snappy" in out
+    doc = json.loads(out_path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_trace_command_with_scenario(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    code = main(
+        [
+            "trace",
+            "--apps",
+            "snappy",
+            "--scale",
+            "0.08",
+            "--scenario",
+            "degraded",
+            "--out",
+            str(out_path),
+        ]
+    )
+    assert code == 0
+    assert "invariant checker: ok" in capsys.readouterr().out
+    assert out_path.exists()

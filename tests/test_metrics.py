@@ -192,3 +192,90 @@ def test_format_cdf_empty():
 
     out = format_cdf("t", {})
     assert out.startswith("t")
+
+
+# -- Histogram reservoir + memoization -----------------------------------------
+
+
+def test_histogram_empty_stddev():
+    hist = Histogram()
+    assert hist.stddev == 0.0
+    hist.record(5.0)
+    assert hist.stddev == 0.0  # one sample: undefined, reported as 0
+
+
+def test_histogram_reservoir_is_unbiased_past_cap():
+    # The old thinning overwrote a sliding window of slots with every
+    # other late sample, skewing post-cap percentiles toward recent
+    # values.  Algorithm R keeps a uniform sample: recording 0..9999
+    # into a 200-slot reservoir must keep the median near 5000.
+    hist = Histogram(name="latency", max_samples=200)
+    for value in range(10_000):
+        hist.record(float(value))
+    assert hist.count == 10_000
+    assert len(hist._samples) == 200
+    assert 3500 <= hist.percentile(50) <= 6500
+    assert hist.percentile(10) < 3500
+    assert hist.percentile(90) > 6500
+    # Exact aggregates are unaffected by thinning.
+    assert hist.mean == pytest.approx(4999.5)
+    assert hist.min_value == 0.0 and hist.max_value == 9999.0
+
+
+def test_histogram_reservoir_is_deterministic():
+    def build():
+        hist = Histogram(name="same-name", max_samples=50)
+        for value in range(1000):
+            hist.record(float(value))
+        return hist._samples
+
+    assert build() == build()
+
+
+def test_histogram_percentile_memo_invalidated_past_cap():
+    hist = Histogram(name="memo", max_samples=4)
+    hist.extend([1.0, 2.0, 3.0, 4.0])
+    assert hist.percentile(100) == 4.0
+    # Record past the cap until a replacement lands, then re-query.
+    for _ in range(64):
+        hist.record(100.0)
+        if 100.0 in hist._samples:
+            break
+    assert 100.0 in hist._samples
+    assert hist.percentile(100) == 100.0
+
+
+# -- RateMeter bin boundaries --------------------------------------------------
+
+
+def test_rate_meter_bin_boundaries():
+    meter = RateMeter(bin_us=1000.0)
+    meter.record(999.999)  # last instant of bin 0
+    meter.record(1000.0)  # first instant of bin 1
+    meter.record(1999.999)
+    series = dict(meter.series())
+    assert series[0.0] == pytest.approx(1000.0)  # 1 event/bin -> 1000/s
+    assert series[1000.0] == pytest.approx(2000.0)
+    assert 2000.0 not in series
+
+
+# -- BandwidthMeter partial-bin accounting -------------------------------------
+
+
+def test_bandwidth_total_until_pro_rates_final_bin():
+    meter = BandwidthMeter(bin_us=1000.0)
+    meter.record("a", 500.0, 100)
+    meter.record("a", 1500.0, 200)
+    meter.record("a", 2500.0, 400)
+    # Halfway through bin 2: full bins 0+1 plus half of bin 2's bytes.
+    assert meter.total_until("a", 2500.0) == pytest.approx(300 + 200)
+    assert meter.total_until("a", 2250.0) == pytest.approx(300 + 100)
+    # Bin-aligned cutoffs are unchanged (no partial coverage).
+    assert meter.total_until("a", 2000.0) == pytest.approx(300)
+    assert meter.total_until("a", 0.0) == 0.0
+
+
+def test_bandwidth_total_until_mid_first_bin():
+    meter = BandwidthMeter(bin_us=1000.0)
+    meter.record("a", 0.0, 1000)
+    assert meter.total_until("a", 250.0) == pytest.approx(250.0)

@@ -1,0 +1,313 @@
+"""Tests for the simulation-time tracing subsystem (repro.obs).
+
+Four layers:
+
+* **Ring-buffer unit tests** — capacity, wrap-around ordering, the
+  ``truncated`` flag, and pickling.
+* **Export tests** — the Chrome ``trace_event`` JSON is well-formed
+  (balanced B/E slices, metadata present) and the per-cgroup summary
+  agrees with the kernel's own swap statistics.
+* **Invariant-checker tests** — real traces from every named fault
+  scenario pass every lint; deliberately corrupted traces fail the
+  matching lint.
+* **Zero-overhead guard** — tracing on vs. off produces bit-identical
+  result digests on every system (tracepoints never touch the engine
+  schedule or RNG).
+"""
+
+import json
+import pickle
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import SCENARIOS, scenario_config
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.results import result_digest
+from repro.obs import (
+    KIND_NAMES,
+    RULES,
+    TraceBuffer,
+    assert_trace_ok,
+    check_trace,
+    dump_chrome_trace,
+    summarize_trace,
+    to_chrome_trace,
+)
+from repro.obs.trace import (
+    ENTRY_FREE,
+    FAULT_BEGIN,
+    FAULT_PARK,
+    QP_COMPLETE,
+    QP_SERVE,
+    REQ_ACQUIRE,
+)
+
+
+class FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+# -- ring buffer ---------------------------------------------------------------
+
+
+def test_trace_buffer_records_in_order():
+    engine = FakeEngine()
+    buf = TraceBuffer(engine, capacity=10)
+    for i in range(5):
+        engine.now = float(i)
+        buf.emit(FAULT_BEGIN, "app", 0, i)
+    records = buf.records()
+    assert len(records) == 5
+    assert [r[0] for r in records] == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert not buf.truncated
+    assert buf.emitted == 5
+
+
+def test_trace_buffer_ring_wraps_dropping_oldest():
+    engine = FakeEngine()
+    buf = TraceBuffer(engine, capacity=4)
+    for i in range(10):
+        engine.now = float(i)
+        buf.emit(FAULT_BEGIN, "app", 0, i)
+    assert buf.truncated
+    assert buf.emitted == 10
+    assert len(buf) == 4
+    # The four newest records, still in chronological order.
+    assert [r[4] for r in buf.records()] == [6, 7, 8, 9]
+
+
+def test_trace_buffer_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        TraceBuffer(FakeEngine(), capacity=0)
+
+
+def test_trace_buffer_pickle_round_trip():
+    engine = FakeEngine()
+    buf = TraceBuffer(engine, capacity=3)
+    for i in range(5):
+        engine.now = float(i)
+        buf.emit(FAULT_BEGIN, "app", 1, i, arg="x")
+    clone = pickle.loads(pickle.dumps(buf))
+    assert clone.engine is None
+    assert clone.records() == buf.records()
+    assert clone.truncated and clone.emitted == 5
+
+
+# -- traced experiment + exports -----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    config = ExperimentConfig(system="canvas", scale=0.1, seed=7, trace=True)
+    return run_experiment(["memcached"], config)
+
+
+def test_traced_run_records_every_fault(traced_run):
+    summary = summarize_trace(traced_run.trace.records())
+    app_stats = traced_run.apps["memcached"].stats
+    assert summary["memcached"]["faults"] == app_stats.faults
+    assert summary["memcached"]["fault_stall_us"] == pytest.approx(
+        app_stats.fault_stall_us
+    )
+    assert summary["memcached"]["prefetch_hits"] == app_stats.prefetch_cache_hits
+    assert summary["memcached"]["writebacks"] == app_stats.swapouts
+    assert summary["memcached"]["clean_drops"] == app_stats.clean_drops
+
+
+def test_chrome_export_shape(traced_run, tmp_path):
+    doc = to_chrome_trace(traced_run.trace.records())
+    events = doc["traceEvents"]
+    assert isinstance(events, list) and events
+    # Process-name metadata for the app.
+    metas = [e for e in events if e["ph"] == "M"]
+    assert any(e["args"]["name"] == "memcached" for e in metas)
+    # Fault slices balance per (pid, tid).
+    depth = {}
+    for event in events:
+        if event["ph"] == "B":
+            depth[(event["pid"], event["tid"])] = (
+                depth.get((event["pid"], event["tid"]), 0) + 1
+            )
+        elif event["ph"] == "E":
+            key = (event["pid"], event["tid"])
+            depth[key] = depth.get(key, 0) - 1
+            assert depth[key] >= 0
+    assert all(v == 0 for v in depth.values())
+    # RDMA complete slices carry positive durations.
+    slices = [e for e in events if e["ph"] == "X"]
+    assert slices and all(e["dur"] > 0 for e in slices)
+    # The dump is plain JSON and loads back.
+    path = tmp_path / "trace.json"
+    dump_chrome_trace(str(path), traced_run.trace.records())
+    loaded = json.loads(path.read_text())
+    assert len(loaded["traceEvents"]) == len(events)
+
+
+def test_traced_result_survives_pickle(traced_run):
+    clone = pickle.loads(pickle.dumps(traced_run))
+    assert clone.trace is not None
+    assert clone.trace.records() == traced_run.trace.records()
+    assert result_digest(clone) == result_digest(traced_run)
+
+
+def test_every_kind_has_a_name():
+    from repro.obs import trace as trace_mod
+
+    kinds = [
+        getattr(trace_mod, name)
+        for name in dir(trace_mod)
+        if name.isupper()
+        and not name.startswith("_")
+        and isinstance(getattr(trace_mod, name), int)
+    ]
+    for kind in kinds:
+        assert kind in KIND_NAMES
+
+
+# -- invariant checker on real traces ------------------------------------------
+
+
+def test_clean_trace_has_no_violations(traced_run):
+    assert_trace_ok(traced_run.trace.records(), truncated=traced_run.trace.truncated)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_checker_passes_every_fault_scenario(scenario):
+    config = ExperimentConfig(
+        system="canvas",
+        scale=0.06,
+        seed=11,
+        trace=True,
+        fault_config=scenario_config(scenario),
+    )
+    result = run_experiment(["memcached"], config)
+    assert_trace_ok(result.trace.records(), truncated=result.trace.truncated)
+
+
+@pytest.mark.parametrize("system", ["linux", "fastswap"])
+def test_checker_passes_baselines_under_chaos(system):
+    config = ExperimentConfig(
+        system=system,
+        scale=0.06,
+        seed=11,
+        trace=True,
+        fault_config=scenario_config("chaos"),
+    )
+    result = run_experiment(["memcached"], config)
+    assert_trace_ok(result.trace.records(), truncated=result.trace.truncated)
+
+
+def test_checker_tolerates_truncated_ring():
+    config = ExperimentConfig(
+        system="canvas", scale=0.08, seed=3, trace=True, trace_capacity=512
+    )
+    result = run_experiment(["memcached"], config)
+    assert result.trace.truncated
+    assert len(result.trace.records()) == 512
+    assert_trace_ok(result.trace.records(), truncated=True)
+
+
+# -- invariant checker on corrupted traces -------------------------------------
+
+
+def _rules_of(violations):
+    return {v.rule for v in violations}
+
+
+def test_checker_flags_completion_without_service(traced_run):
+    records = list(traced_run.trace.records())
+    # Remove the first service record: its completion is now causeless.
+    index = next(i for i, r in enumerate(records) if r[1] == QP_SERVE)
+    del records[index]
+    violations = check_trace(records)
+    assert "completion-before-issue" in _rules_of(violations)
+    # ... but a truncated trace forgives the missing predecessor, unless
+    # the order itself is wrong.
+    req = traced_run.trace.records()[index][4]
+    later = [r for r in records if not (r[1] == QP_COMPLETE and r[4] == req)]
+    assert "completion-before-issue" not in _rules_of(
+        check_trace(later, truncated=True)
+    )
+
+
+def test_checker_flags_entry_double_free(traced_run):
+    # Canvas's reservation FSM reuses entries without allocator frees, so
+    # corrupt the trace with an explicit free-after-free instead.
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    records.append((t + 1.0, ENTRY_FREE, "", 0, 0xDEAD, "part"))
+    records.append((t + 2.0, ENTRY_FREE, "", 0, 0xDEAD, "part"))
+    violations = check_trace(records)
+    assert "entry-double-free" in _rules_of(violations)
+    # A single free for an entry first seen mid-life is legitimate.
+    assert not check_trace(records[:-1])
+
+
+def test_checker_flags_unwoken_parked_thread(traced_run):
+    records = list(traced_run.trace.records())
+    records.append((records[-1][0] + 1.0, FAULT_PARK, "memcached", 99, 0x42, 0))
+    violations = check_trace(records)
+    assert "park-without-wake" in _rules_of(violations)
+    # End-of-trace violations fire even on truncated traces.
+    assert "park-without-wake" in _rules_of(check_trace(records, truncated=True))
+
+
+def test_checker_flags_pooled_request_live_twice(traced_run):
+    records = list(traced_run.trace.records())
+    index = next(i for i, r in enumerate(records) if r[1] == REQ_ACQUIRE)
+    records.insert(index + 1, records[index])
+    violations = check_trace(records)
+    assert "pool-live-twice" in _rules_of(violations)
+
+
+def test_checker_flags_nested_fault(traced_run):
+    records = list(traced_run.trace.records())
+    records.append((records[-1][0] + 1.0, FAULT_BEGIN, "memcached", 0, 0x42, 0))
+    records.append((records[-1][0] + 1.0, FAULT_BEGIN, "memcached", 0, 0x43, 0))
+    violations = check_trace(records)
+    assert "fault-nesting" in _rules_of(violations)
+
+
+def test_assert_trace_ok_raises_with_rule_names(traced_run):
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    records.append((t + 1.0, ENTRY_FREE, "", 0, 0xDEAD, "part"))
+    records.append((t + 2.0, ENTRY_FREE, "", 0, 0xDEAD, "part"))
+    with pytest.raises(AssertionError, match="entry-double-free"):
+        assert_trace_ok(records)
+
+
+def test_rule_catalogue_is_complete(traced_run):
+    assert set(RULES) == {
+        "completion-before-issue",
+        "entry-double-free",
+        "entry-double-alloc",
+        "retransmit-without-fault",
+        "pool-live-twice",
+        "park-without-wake",
+        "fault-nesting",
+    }
+
+
+# -- zero-overhead-when-off guard ----------------------------------------------
+
+
+@pytest.mark.parametrize("system", ["canvas", "linux", "fastswap"])
+def test_tracing_is_invisible_to_results(system):
+    base = ExperimentConfig(system=system, scale=0.08, seed=5)
+    plain = run_experiment(["memcached"], base)
+    traced = run_experiment(["memcached"], replace(base, trace=True))
+    assert plain.trace is None
+    assert traced.trace is not None and len(traced.trace.records()) > 0
+    assert result_digest(plain) == result_digest(traced)
+
+
+def test_tracing_off_attaches_no_buffer():
+    result = run_experiment(
+        ["memcached"], ExperimentConfig(system="canvas", scale=0.05, seed=1)
+    )
+    assert result.trace is None
+    assert result.system.trace is None
+    assert result.machine.nic.tracer is None

@@ -286,3 +286,55 @@ def test_reference_prefetcher_isolated_page_proposes_nothing():
 def test_graph_invalid_group_size():
     with pytest.raises(ValueError):
         PageGroupGraph(0)
+
+
+# -- readahead VMA clamping ---------------------------------------------------
+
+
+def test_readahead_negative_stride_never_proposes_negative_vpns():
+    ra = KernelReadahead()
+    # Establish a confirmed descending stride ending near address zero.
+    ra.on_fault("app", 0, 6, 0.0)
+    ra.on_fault("app", 0, 4, 1.0)
+    proposals = ra.on_fault("app", 0, 2, 2.0)
+    assert proposals  # the stride is confirmed and the window is open
+    assert all(vpn >= 0 for vpn in proposals)
+    assert ra.stats.proposals_clamped > 0
+
+
+def test_readahead_clamps_to_registered_vma():
+    ra = KernelReadahead()
+    ra.note_region("app", 100, 110)
+    ra.on_fault("app", 0, 103, 0.0)
+    ra.on_fault("app", 0, 105, 1.0)
+    proposals = ra.on_fault("app", 0, 107, 2.0)  # stride +2 confirmed
+    assert proposals == [109]  # 111, 113... fall past the VMA end
+    assert ra.stats.proposals_clamped > 0
+
+
+def test_readahead_clamp_uses_containing_region():
+    ra = KernelReadahead()
+    ra.note_region("app", 0, 50)
+    ra.note_region("app", 1000, 1100)
+    before = ra.stats.proposals_clamped
+    proposals = ra.on_fault("app", 0, 1050, 0.0)
+    assert proposals
+    assert all(1000 <= vpn < 1100 for vpn in proposals)
+    assert ra.stats.proposals_clamped == before  # window fits the VMA
+
+
+def test_readahead_probe_is_clamped_at_vma_end():
+    ra = KernelReadahead()
+    ra.note_region("app", 0, 10)
+    state = ra._bucket_for("app", 9)
+    state.score = -1  # force silence so the next Nth fault probes
+    state.silent_faults = ra.PROBE_INTERVAL - 1
+    proposals = ra.on_fault("app", 0, 9, 0.0)
+    assert proposals == []  # probe vpn 10 is past the mapping
+    assert ra.stats.proposals_clamped == 1
+
+
+def test_prefetcher_stats_include_clamp_counter():
+    base = Prefetcher()
+    assert base.stats.proposals_clamped == 0
+    base.note_region("app", 0, 100)  # no-op on the base policy
