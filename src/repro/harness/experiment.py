@@ -351,7 +351,11 @@ def run_experiment(
                 workload.name, float(remote_pages)
             ),
         )
-        app = AppContext(machine.engine, cgroup)
+        # Batched runs age pages with the flat generation-stamp LRU
+        # (enabling the vectorized resident path); scalar runs keep the
+        # linked lists.  The batched-vs-scalar digest guard therefore
+        # doubles as an end-to-end LRU-equivalence check.
+        app = AppContext(machine.engine, cgroup, flat_state=config.batched_streams)
         build_rng = machine.rng.child(workload.name).stream("build")
         workload.build(app, build_rng)
         system.register_app(app)

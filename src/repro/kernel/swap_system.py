@@ -25,12 +25,17 @@ from __future__ import annotations
 
 from bisect import bisect_left
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Generator, List, Optional
+
+import numpy as np
 
 from repro.kernel.cgroup import AppContext
 from repro.kernel.telemetry import Telemetry
 from repro.mem.page import Page
 from repro.obs.trace import (
+    BATCH_ENTER,
+    BATCH_EXIT,
     CLEAN_DROP,
     DEMAND_ISSUE,
     DEMAND_RETRY,
@@ -375,12 +380,12 @@ class BaseSwapSystem:
 
         Returns ``(next_index, pending_cpu, outcome)``.  The engine is
         frozen between the driver's yields, so every access in the run
-        sees the same simulated instant; this loop performs exactly the
-        per-access side effects the scalar path would (access counting,
-        referenced/dirty bits, access timestamps, LRU promotion) without
-        a generator round-trip per access.  CPU accumulates left-to-right
-        in Python floats, so ``pending_cpu`` is bit-identical to the
-        scalar path's.
+        sees the same simulated instant; the consume core performs
+        exactly the per-access side effects the scalar path would
+        (access counting, referenced/dirty bits, access timestamps, LRU
+        promotion) without a generator round-trip per access, and its
+        CPU accumulation is bit-identical to left-to-right Python float
+        adds.
 
         * ``BATCH_FLUSH``: the access at ``next_index - 1`` pushed
           ``pending_cpu`` past ``flush_us``; the caller must execute it.
@@ -389,95 +394,15 @@ class BaseSwapSystem:
           scalar path flushes the faulting access's CPU before the fault);
           the caller runs ``handle_fault`` for it.
         * ``BATCH_END``: the batch is exhausted.
+
+        Apps on the generation-stamp LRU (``lru.flat``) whose flag
+        arrays cover every mapped page take the vectorized core —
+        classification, CPU accumulation, and run side effects as a
+        handful of numpy ops; everything else takes the per-page scan.
         """
-        vpn_list = batch.vpn_list
-        # resident_map holds the page object (or None): classification
-        # and page fetch are one flat list index.
-        resident = app.space.resident_map
-        note = app.lru.note_access
-        # The common LRU case (page already active: refresh its position)
-        # is inlined as a single dict pop + re-insert; only the rare
-        # inactive->active promotion pays for the note_access call.
-        active = app.lru.active._pages
-        active_pop = active.pop
-        now = self.engine.now
-        n = len(vpn_list)
-        end = n
-        outcome = BATCH_END
-        cpu = batch.constant_cpu
-        if cpu is not None:
-            # Uniform per-access cost (the common case).  The flush
-            # crossing depends only on (pending_cpu, cpu, flush_us), so
-            # it is found up front with bare sequential float adds —
-            # bit-identical to accumulating inside the loop — and the
-            # page loop below runs without accumulate/threshold work.
-            steps = 0
-            remaining = n - start
-            tmp = pending_cpu
-            while steps < remaining:
-                tmp += cpu
-                steps += 1
-                if tmp >= flush_us:
-                    end = start + steps
-                    outcome = BATCH_FLUSH
-                    break
-            fault_vpn = -1
-            for vpn in vpn_list[start : start + steps]:
-                page = resident[vpn]
-                try:
-                    page.referenced = True
-                except AttributeError:  # page is None: first non-resident
-                    fault_vpn = vpn
-                    break
-                page.last_access_us = now
-                try:
-                    active[page] = active_pop(page)
-                except KeyError:
-                    note(page)
-            if fault_vpn < 0:
-                pending_cpu = tmp
-            else:
-                # Residency is frozen within a consume call, so the
-                # faulting access is the first occurrence of its VPN at
-                # or after ``start``.  Replay the adds up to and
-                # including it so pending_cpu keeps the scalar path's
-                # exact accumulation sequence.
-                end = vpn_list.index(fault_vpn, start)
-                outcome = BATCH_FAULT
-                for _ in range(end - start + 1):
-                    pending_cpu += cpu
-        else:
-            cpu_list = batch.cpu_list
-            for i in range(start, n):
-                page = resident[vpn_list[i]]
-                if page is None:
-                    pending_cpu += cpu_list[i]
-                    end = i
-                    outcome = BATCH_FAULT
-                    break
-                pending_cpu += cpu_list[i]
-                page.referenced = True
-                page.last_access_us = now
-                try:
-                    active[page] = active_pop(page)
-                except KeyError:
-                    note(page)
-                if pending_cpu >= flush_us:
-                    end = i + 1
-                    outcome = BATCH_FLUSH
-                    break
-        # Dirty bits for the consumed resident run [start, end): applied
-        # from the batch's precomputed write positions instead of a
-        # per-access check (the faulting access, if any, sits at ``end``
-        # and is dirtied by the driver after the fault resolves).
-        writes = batch.write_positions
-        if writes:
-            for k in writes[bisect_left(writes, start):]:
-                if k >= end:
-                    break
-                resident[vpn_list[k]].dirty = True
-        app.stats.accesses += end - start + (1 if outcome == BATCH_FAULT else 0)
-        return end, pending_cpu, outcome
+        if app.lru.flat and not app.space.has_foreign_pages:
+            return self._consume_batch_flat(app, batch, start, pending_cpu, flush_us, None)
+        return self._consume_batch_scan(app, batch, start, pending_cpu, flush_us, None)
 
     def consume_batch_profiled(
         self,
@@ -489,26 +414,157 @@ class BaseSwapSystem:
         profiler,
     ):
         """Profiling twin of :meth:`consume_batch`: identical returns and
-        side effects, but classification/clock advance and LRU/page
-        maintenance run as separate timed passes so the profiler can
-        attribute them individually.  Both passes mirror the unprofiled
-        path's code shape — including the ``constant_cpu`` precompute and
-        the inlined active-LRU refresh — so profiled runs measure (and
-        produce) what unprofiled runs do.
+        side effects (same consume cores), but classification/clock
+        advance and LRU/page maintenance are timed separately so the
+        profiler can attribute them individually.
         """
-        from time import perf_counter
+        if app.lru.flat and not app.space.has_foreign_pages:
+            return self._consume_batch_flat(app, batch, start, pending_cpu, flush_us, profiler)
+        return self._consume_batch_scan(app, batch, start, pending_cpu, flush_us, profiler)
 
-        t0 = perf_counter()
+    def _consume_batch_flat(
+        self,
+        app: AppContext,
+        batch,
+        start: int,
+        pending_cpu: float,
+        flush_us: float,
+        profiler,
+    ):
+        """Vectorized consume core over the space's flat VPN-indexed arrays.
+
+        One residency gather classifies the whole tail; ``np.add.accumulate``
+        reproduces the scalar path's left-to-right float adds bit-for-bit
+        (verified: binary summation is not used for accumulate), so
+        ``pending_cpu``, the flush crossing, and the fault/flush tie-break
+        all match the per-page scan exactly.  Run side effects are three
+        scatters plus one stamped LRU bulk-promote.
+        """
+        if profiler is not None:
+            t0 = perf_counter()
+        space = app.space
+        n = len(batch)
+        if start >= n:  # defensive: driver never calls on an exhausted batch
+            return n, pending_cpu, BATCH_END
+        tr = self.trace
+        if tr is not None:
+            tr.emit(BATCH_ENTER, app.name, 0, start, n)
+        varr = batch.vpn_array
+        cpu = batch.constant_cpu
+        resident_bits = space.resident_bits
+        # Fault-storm shortcut: when the very first access misses — the
+        # common case while a pressured app thrashes — classification
+        # degenerates to one scalar residency read and one float add
+        # (which even a same-index flush crossing loses on the
+        # tie-break), with no run side effects at all.
+        if not resident_bits[varr[start]]:
+            if tr is not None:
+                tr.emit(BATCH_EXIT, app.name, 0, 0, BATCH_FAULT)
+            first_cpu = cpu if cpu is not None else float(batch.cpu_array[start])
+            pending_cpu = pending_cpu + first_cpu
+            app.stats.accesses += 1
+            if profiler is not None:
+                profiler.add("fast_path", perf_counter() - t0)
+            return start, pending_cpu, BATCH_FAULT
+        v = varr[start:]
+        res = resident_bits[v]
+        m = int(res.argmin())
+        fault_rel = -1 if res[m] else m
+        remaining = n - start
+        # Only accesses up to (and including) the fault can matter: a
+        # flush crossing past the fault never wins the tie-break, and
+        # accumulate over a prefix is bit-identical to the same prefix of
+        # the full accumulate.  This keeps a fault 3 accesses in from
+        # paying for a 1,024-element scan.
+        limit = remaining if fault_rel < 0 else fault_rel + 1
+        if cpu is not None:
+            seq = np.full(limit + 1, cpu, dtype=np.float64)
+        else:
+            seq = np.empty(limit + 1, dtype=np.float64)
+            seq[1:] = batch.cpu_array[start : start + limit]
+        seq[0] = pending_cpu
+        acc = np.add.accumulate(seq)
+        ge = acc[1:] >= flush_us
+        flush_rel = int(ge.argmax()) if ge.any() else -1
+        # Tie-break parity with the scalar scan: the faulting access wins
+        # when it sits at or before the flush crossing.
+        if fault_rel >= 0 and (flush_rel < 0 or fault_rel <= flush_rel):
+            run_len = fault_rel
+            end = start + fault_rel
+            # The faulting access's CPU is flushed before the fault.
+            pending_cpu = float(acc[fault_rel + 1])
+            outcome = BATCH_FAULT
+        elif flush_rel >= 0:
+            run_len = flush_rel + 1
+            end = start + run_len
+            pending_cpu = float(acc[run_len])
+            outcome = BATCH_FLUSH
+        else:
+            run_len = remaining
+            end = n
+            pending_cpu = float(acc[-1])
+            outcome = BATCH_END
+        if profiler is not None:
+            t1 = perf_counter()
+            profiler.add("fast_path", t1 - t0)
+        # Side effects for the resident run [start, end): referenced +
+        # timestamp scatters, bulk LRU promote (duplicate VPNs resolve
+        # last-write-wins, matching sequential per-access stamping), and
+        # dirty bits for the run's write positions.  The faulting access,
+        # if any, sits at ``end`` and is dirtied by the driver after the
+        # fault resolves.
+        if run_len:
+            rv = v[:run_len]
+            space.referenced_bits[rv] = True
+            space.last_access_arr[rv] = self.engine.now
+            app.lru.note_access_run(rv)
+            wp = batch.write_pos_array
+            if len(wp):
+                lo = int(np.searchsorted(wp, start, side="left"))
+                hi = int(np.searchsorted(wp, end, side="left"))
+                if hi > lo:
+                    space.dirty_bits[varr[wp[lo:hi]]] = True
+        app.stats.accesses += run_len + (1 if outcome == BATCH_FAULT else 0)
+        if tr is not None:
+            tr.emit(BATCH_EXIT, app.name, 0, run_len, outcome)
+        if profiler is not None:
+            profiler.add("lru", perf_counter() - t1)
+        return end, pending_cpu, outcome
+
+    def _consume_batch_scan(
+        self,
+        app: AppContext,
+        batch,
+        start: int,
+        pending_cpu: float,
+        flush_us: float,
+        profiler,
+    ):
+        """Per-page consume core: classification pass, then side effects.
+
+        Serves linked-LRU apps and flat apps with foreign pages (shared
+        mappings whose flag home is another space).  The classification
+        pass uses the exact float-add sequence the one-pass scalar loop
+        would, so ``pending_cpu`` stays bit-identical; the side-effect
+        pass applies the same per-page updates afterwards (ordering
+        between the passes is immaterial — residency is frozen within a
+        consume call and flags never feed back into classification).
+        """
+        if profiler is not None:
+            t0 = perf_counter()
         vpn_list = batch.vpn_list
+        # resident_map holds the page object (or None): classification
+        # and page fetch are one flat list index.
         resident = app.space.resident_map
         n = len(vpn_list)
         end = n
         outcome = BATCH_END
         cpu = batch.constant_cpu
-        # Pass 1 (timed as fast_path): classification and CPU
-        # accumulation, with the exact float-add sequence of
-        # consume_batch so pending_cpu stays bit-identical.
         if cpu is not None:
+            # Uniform per-access cost (the common case).  The flush
+            # crossing depends only on (pending_cpu, cpu, flush_us), so
+            # it is found up front with bare sequential float adds —
+            # bit-identical to accumulating inside the loop.
             steps = 0
             remaining = n - start
             tmp = pending_cpu
@@ -527,6 +583,11 @@ class BaseSwapSystem:
             if fault_vpn < 0:
                 pending_cpu = tmp
             else:
+                # Residency is frozen within a consume call, so the
+                # faulting access is the first occurrence of its VPN at
+                # or after ``start``.  Replay the adds up to and
+                # including it so pending_cpu keeps the scalar path's
+                # exact accumulation sequence.
                 end = vpn_list.index(fault_vpn, start)
                 outcome = BATCH_FAULT
                 for _ in range(end - start + 1):
@@ -544,22 +605,38 @@ class BaseSwapSystem:
                     end = i + 1
                     outcome = BATCH_FLUSH
                     break
-        t1 = perf_counter()
-        profiler.add("fast_path", t1 - t0)
-        # Pass 2 (timed as lru): page/LRU side effects for the resident
-        # run [start, end), same inlined refresh as consume_batch.
-        note = app.lru.note_access
-        active = app.lru.active._pages
-        active_pop = active.pop
+        if profiler is not None:
+            t1 = perf_counter()
+            profiler.add("fast_path", t1 - t0)
+        # Side effects for the resident run [start, end).
         now = self.engine.now
-        for vpn in vpn_list[start:end]:
-            page = resident[vpn]
-            page.referenced = True
-            page.last_access_us = now
-            try:
-                active[page] = active_pop(page)
-            except KeyError:
+        lru = app.lru
+        note = lru.note_access
+        if lru.flat:
+            for vpn in vpn_list[start:end]:
+                page = resident[vpn]
+                page.referenced = True
+                page.last_access_us = now
                 note(page)
+        else:
+            # The common linked-LRU case (page already active: refresh
+            # its position) is inlined as a single dict pop + re-insert;
+            # only the rare inactive->active promotion pays for the
+            # note_access call.
+            active = lru.active._pages
+            active_pop = active.pop
+            for vpn in vpn_list[start:end]:
+                page = resident[vpn]
+                page.referenced = True
+                page.last_access_us = now
+                try:
+                    active[page] = active_pop(page)
+                except KeyError:
+                    note(page)
+        # Dirty bits for the consumed resident run, applied from the
+        # batch's precomputed write positions instead of a per-access
+        # check (the faulting access, if any, sits at ``end`` and is
+        # dirtied by the driver after the fault resolves).
         writes = batch.write_positions
         if writes:
             for k in writes[bisect_left(writes, start):]:
@@ -567,7 +644,8 @@ class BaseSwapSystem:
                     break
                 resident[vpn_list[k]].dirty = True
         app.stats.accesses += end - start + (1 if outcome == BATCH_FAULT else 0)
-        profiler.add("lru", perf_counter() - t1)
+        if profiler is not None:
+            profiler.add("lru", perf_counter() - t1)
         return end, pending_cpu, outcome
 
     # ------------------------------------------------------------------

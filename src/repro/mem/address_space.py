@@ -6,11 +6,23 @@ groups them into :class:`VMA` regions.  VMAs matter for two reasons in the
 paper's setting: the kernel's readahead state is per-VMA (the "per-VMA
 prefetching policy" in §6's Linux tuning), and shared VMAs force pages onto
 the global swap path (§4, Handling of Shared Pages).
+
+Flat kernel state: alongside the ``resident_map`` object array (VPN →
+Page-or-None, the scalar consume path's classifier), each space keeps
+VPN-indexed numpy arrays — a residency bitmap, dirty/referenced
+bitvectors, last-access timestamps, and LRU generation stamps with an
+active/inactive classification byte.  The batched resident fast path
+(``BaseSwapSystem.consume_batch``) gathers and scatters these arrays for
+whole runs of accesses; scalar ``Page`` accessors address the same
+storage element-wise.  Guard/unmapped slots simply stay at their zero
+values.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
+
+import numpy as np
 
 from repro.mem.page import Page
 
@@ -64,10 +76,31 @@ class AddressSpace:
         self.pages: Dict[int, Page] = {}
         #: Residency indexed by raw VPN: ``resident_map[vpn]`` is the
         #: page object when ``pages[vpn].resident`` and None otherwise
-        #: (kept in sync by the Page setter).  The batched fast path
+        #: (kept in sync by the Page setter).  The scalar consume path
         #: classifies an access *and* fetches its page with one flat
         #: list index.  Unmapped/guard slots stay None.
         self.resident_map: List[Optional[Page]] = []
+        #: Flat VPN-indexed kernel state (see module docstring).  The
+        #: bitmap mirrors ``resident_map``; dirty/referenced/timestamps
+        #: are the authoritative storage behind the ``Page`` accessors;
+        #: ``lru_stamp``/``lru_where`` belong to the generation-stamp LRU
+        #: (:class:`repro.mem.lru.GenerationLRU`) when the owning app
+        #: uses it.
+        self.resident_bits = np.zeros(0, dtype=bool)
+        self.dirty_bits = np.zeros(0, dtype=bool)
+        self.referenced_bits = np.zeros(0, dtype=bool)
+        self.last_access_arr = np.zeros(0, dtype=np.float64)
+        self.lru_stamp = np.zeros(0, dtype=np.int64)
+        self.lru_where = np.zeros(0, dtype=np.uint8)
+        #: Incremental count of resident pages, maintained by the Page
+        #: residency setter: ``resident_pages`` is O(1) instead of a dict
+        #: scan at stats-collection time.
+        self._resident_count = 0
+        #: True once this space maps pages whose flag home is another
+        #: space (``map_shared_from``): the vectorized consume path must
+        #: not scatter into *this* space's flag arrays then, so consumers
+        #: fall back to the per-page object path.
+        self.has_foreign_pages = False
         self._next_vpn = 0x1000  # skip the NULL guard area
 
     # -- mapping ---------------------------------------------------------
@@ -75,6 +108,26 @@ class AddressSpace:
     def _grow_resident_map(self, end_vpn: int) -> None:
         if end_vpn > len(self.resident_map):
             self.resident_map.extend([None] * (end_vpn - len(self.resident_map)))
+        if end_vpn > len(self.resident_bits):
+            grow = end_vpn - len(self.resident_bits)
+            self.resident_bits = np.concatenate(
+                (self.resident_bits, np.zeros(grow, dtype=bool))
+            )
+            self.dirty_bits = np.concatenate(
+                (self.dirty_bits, np.zeros(grow, dtype=bool))
+            )
+            self.referenced_bits = np.concatenate(
+                (self.referenced_bits, np.zeros(grow, dtype=bool))
+            )
+            self.last_access_arr = np.concatenate(
+                (self.last_access_arr, np.zeros(grow, dtype=np.float64))
+            )
+            self.lru_stamp = np.concatenate(
+                (self.lru_stamp, np.zeros(grow, dtype=np.int64))
+            )
+            self.lru_where = np.concatenate(
+                (self.lru_where, np.zeros(grow, dtype=np.uint8))
+            )
 
     def map_region(self, n_pages: int, name: str = "", shared: bool = False) -> VMA:
         """Map a fresh anonymous region and materialize its pages."""
@@ -86,25 +139,27 @@ class AddressSpace:
             page = Page(vpn, owner_name=self.name)
             self.pages[vpn] = page
             page.attach_space(self)
-            self.resident_map[vpn] = page if page.resident else None
         return vma
 
     def map_shared_from(self, other: "AddressSpace", vma: VMA, name: str = "") -> VMA:
         """Map ``vma`` of ``other`` into this space, sharing its pages.
 
         The pages' mapcount is incremented, which routes them onto the
-        global swap partition (§4).
+        global swap partition (§4).  The shared pages keep their flag
+        home in ``other``, so this space's flag arrays no longer cover
+        every mapped page — ``has_foreign_pages`` routes its consumers
+        onto the per-page path.
         """
         mirror = VMA(vma.start_vpn, vma.n_pages, name=name or vma.name, shared=True)
         vma.shared = True
         self.vmas.append(mirror)
         self._grow_resident_map(vma.end_vpn)
+        self.has_foreign_pages = True
         for vpn in vma.vpns():
             page = other.pages[vpn]
             page.mapcount += 1
             self.pages[vpn] = page
             page.attach_space(self)
-            self.resident_map[vpn] = page if page.resident else None
         return mirror
 
     # -- lookup ----------------------------------------------------------
@@ -129,7 +184,8 @@ class AddressSpace:
 
     @property
     def resident_pages(self) -> int:
-        return sum(1 for page in self.pages.values() if page.resident)
+        """O(1): maintained incrementally by the Page residency setter."""
+        return self._resident_count
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"AddressSpace({self.name!r}, {len(self.vmas)} VMAs, {len(self.pages)} pages)"

@@ -9,12 +9,15 @@ scans the *head* of the active list, so :class:`LRUList` exposes that scan.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Iterator, List, Optional
 
-from repro.mem.page import Page
-from repro.obs.trace import LRU_DEMOTE
+import numpy as np
 
-__all__ = ["LRUList", "ActiveInactiveLRU"]
+from repro.mem.page import Page
+from repro.obs.trace import LRU_DEMOTE, LRU_EPOCH
+
+__all__ = ["LRUList", "ActiveInactiveLRU", "GenerationLRU"]
 
 #: Sentinel distinguishing "absent" from a stored None value.
 _MISSING = object()
@@ -91,6 +94,10 @@ class LRUList:
 
 class ActiveInactiveLRU:
     """The two-list page aging structure used for reclaim decisions."""
+
+    #: Consumers branch on this instead of isinstance: the flat
+    #: generation-stamp variant advertises ``flat = True``.
+    flat = False
 
     def __init__(self, name: str = "memcg"):
         self.name = name
@@ -170,3 +177,403 @@ class ActiveInactiveLRU:
         self.balance()
         page = self.inactive.pop_tail()
         return page
+
+
+# -- flat generation-stamp LRU --------------------------------------------
+
+#: Values of ``AddressSpace.lru_where``: not on the LRU, on the inactive
+#: list, on the active list.
+LRU_NONE, LRU_INACTIVE, LRU_ACTIVE = 0, 1, 2
+
+
+class _GenerationView:
+    """Read-only list view over one ``lru_where`` class (active/inactive).
+
+    Quacks enough like :class:`LRUList` for the structure's consumers —
+    the hot-page detector's ``head_pages`` scan, emergency reservation
+    release, and tests — by materializing stamp order on demand.
+    """
+
+    __slots__ = ("_lru", "_which", "name")
+
+    def __init__(self, lru: "GenerationLRU", which: int, name: str):
+        self._lru = lru
+        self._which = which
+        self.name = name
+
+    def _vpns_lru_first(self) -> np.ndarray:
+        space = self._lru.space
+        sel = np.flatnonzero(space.lru_where == self._which)
+        order = np.argsort(space.lru_stamp[sel], kind="stable")
+        return sel[order]
+
+    def __len__(self) -> int:
+        return self._lru._count_of(self._which)
+
+    def __contains__(self, page: Page) -> bool:
+        where = self._lru.space.lru_where
+        vpn = page.vpn
+        return vpn < len(where) and where[vpn] == self._which
+
+    def __iter__(self) -> Iterator[Page]:
+        """Iterate LRU-first (lowest stamp first), like :class:`LRUList`."""
+        pages = self._lru.space.pages
+        return (pages[vpn] for vpn in self._vpns_lru_first().tolist())
+
+    def peek_tail(self) -> Optional[Page]:
+        vpns = self._vpns_lru_first()
+        if not len(vpns):
+            return None
+        return self._lru.space.pages[int(vpns[0])]
+
+    def head_pages(self, count: int) -> List[Page]:
+        """The ``count`` most-recently-stamped pages, MRU first."""
+        if count <= 0:
+            return []
+        vpns = self._vpns_lru_first()[::-1][:count]
+        pages = self._lru.space.pages
+        return [pages[vpn] for vpn in vpns.tolist()]
+
+
+class GenerationLRU:
+    """Flat generation-stamp LRU over an address space's arrays.
+
+    Drop-in replacement for :class:`ActiveInactiveLRU` that stores the
+    ordering as a monotonically increasing stamp per VPN plus a one-byte
+    active/inactive classification (``AddressSpace.lru_stamp`` /
+    ``lru_where``) instead of linked-list nodes.  Every ordering event —
+    insert, promote, refresh, rotate, demote — writes a fresh stamp, so
+    ascending stamp order *is* the linked list's tail-to-head order and
+    both structures pick identical eviction victims on identical access
+    sequences (property-tested in ``tests/test_mem_lru.py``).
+
+    The payoff is the batched resident fast path: ``note_access_run``
+    retires a whole run of promotions/refreshes as two vectorized
+    scatters, where the linked structure paid a dict probe per access.
+    Reclaim rebuilds victim order lazily — eviction candidates are
+    gathered in ascending-stamp chunks into a queue whose entries are
+    revalidated (still inactive, stamp unchanged) at pop time.
+
+    Epochs: when the stamp counter reaches ``epoch_limit`` the stamps of
+    all on-LRU pages are renormalized to their ranks (an ``LRU_EPOCH``
+    trace record marks it).  Order is preserved exactly; the limit only
+    exists so the counter cannot grow without bound over arbitrarily
+    long co-runs, and is test-settable to exercise the rollover.
+    """
+
+    flat = True
+
+    #: Eviction candidates gathered per queue refill.
+    VICTIM_CHUNK = 256
+
+    def __init__(
+        self,
+        space,
+        name: str = "memcg",
+        epoch_limit: int = 1 << 62,
+    ):
+        self.space = space
+        self.name = name
+        self.tracer = None
+        self.epoch_limit = epoch_limit
+        self._gen = 0
+        #: Completed epoch renormalizations.
+        self.epochs = 0
+        #: Pending eviction candidates as ``(stamp, vpn)`` in ascending
+        #: stamp order; entries are revalidated at pop time.
+        self._victim_queue: deque = deque()
+        #: Incremental class sizes, so balance/reclaim never rescan the
+        #: whole ``lru_where`` array.  Scalar mutators maintain them
+        #: exactly; the vectorized ``note_access_run`` (whose duplicate
+        #: VPNs make an exact delta cost more than it saves) just marks
+        #: them stale, and the next reader recounts once.
+        self._n_active = 0
+        self._n_inactive = 0
+        self._counts_stale = False
+        self.active = _GenerationView(self, LRU_ACTIVE, f"{name}.active")
+        self.inactive = _GenerationView(self, LRU_INACTIVE, f"{name}.inactive")
+
+    def _count_of(self, which: int) -> int:
+        if self._counts_stale:
+            self._recount()
+        return self._n_active if which == LRU_ACTIVE else self._n_inactive
+
+    def _recount(self) -> None:
+        where = self.space.lru_where
+        self._n_inactive = int(np.count_nonzero(where == LRU_INACTIVE))
+        self._n_active = int(np.count_nonzero(where == LRU_ACTIVE))
+        self._counts_stale = False
+
+    # -- stamping ------------------------------------------------------
+
+    def _take_stamps(self, n: int) -> int:
+        """Reserve ``n`` consecutive stamps; renormalize at the epoch edge."""
+        if self._gen + n > self.epoch_limit:
+            self._renormalize()
+        start = self._gen
+        self._gen = start + n
+        return start
+
+    def _renormalize(self) -> None:
+        """Compact stamps of on-LRU pages to their ranks (order-preserving)."""
+        space = self.space
+        on_lru = np.flatnonzero(space.lru_where != LRU_NONE)
+        order = np.argsort(space.lru_stamp[on_lru], kind="stable")
+        space.lru_stamp[on_lru[order]] = np.arange(len(on_lru), dtype=np.int64)
+        old_gen = self._gen
+        self._gen = len(on_lru)
+        self._victim_queue.clear()  # queued stamps are stale now
+        self.epochs += 1
+        if self.tracer is not None:
+            self.tracer.emit(LRU_EPOCH, self.name, 0, len(on_lru), old_gen)
+
+    # -- membership ----------------------------------------------------
+
+    def __len__(self) -> int:
+        if self._counts_stale:
+            self._recount()
+        return self._n_active + self._n_inactive
+
+    def __contains__(self, page: Page) -> bool:
+        where = self.space.lru_where
+        vpn = page.vpn
+        return vpn < len(where) and where[vpn] != LRU_NONE
+
+    def insert(self, page: Page) -> None:
+        """A newly faulted-in page starts on the inactive list."""
+        space = self.space
+        vpn = page.vpn
+        if space.lru_where[vpn] != LRU_NONE:
+            raise ValueError(f"page {vpn:#x} already on {self.name}.inactive")
+        stamp = self._take_stamps(1)
+        space.lru_where[vpn] = LRU_INACTIVE
+        space.lru_stamp[vpn] = stamp
+        self._n_inactive += 1
+
+    def note_access(self, page: Page) -> None:
+        """Promote a referenced inactive page; refresh an active one."""
+        space = self.space
+        vpn = page.vpn
+        prev = space.lru_where[vpn]
+        if prev == LRU_NONE:
+            raise ValueError(f"page {vpn:#x} not on {self.name} LRU")
+        stamp = self._take_stamps(1)
+        space.lru_where[vpn] = LRU_ACTIVE
+        space.lru_stamp[vpn] = stamp
+        if prev == LRU_INACTIVE:
+            self._n_inactive -= 1
+            self._n_active += 1
+
+    def note_access_run(self, vpns: np.ndarray) -> None:
+        """Vectorized :meth:`note_access` for a run of resident accesses.
+
+        ``vpns`` is in access order; duplicate VPNs resolve to the last
+        occurrence's stamp (numpy scatter semantics), exactly the stamp a
+        scalar per-access loop would leave behind.  The stamp counter
+        still advances once per access so batched and scalar protocols
+        stay stamp-for-stamp identical.
+        """
+        n = len(vpns)
+        if not n:
+            return
+        start = self._take_stamps(n)
+        space = self.space
+        space.lru_stamp[vpns] = np.arange(start, start + n, dtype=np.int64)
+        space.lru_where[vpns] = LRU_ACTIVE
+        self._counts_stale = True
+
+    def remove(self, page: Page) -> None:
+        space = self.space
+        vpn = page.vpn
+        prev = space.lru_where[vpn]
+        if prev == LRU_NONE:
+            raise KeyError(page)
+        space.lru_where[vpn] = LRU_NONE
+        if prev == LRU_INACTIVE:
+            self._n_inactive -= 1
+        else:
+            self._n_active -= 1
+
+    def discard(self, page: Page) -> bool:
+        where = self.space.lru_where
+        vpn = page.vpn
+        if vpn >= len(where):
+            return False
+        prev = where[vpn]
+        if prev == LRU_NONE:
+            return False
+        where[vpn] = LRU_NONE
+        if prev == LRU_INACTIVE:
+            self._n_inactive -= 1
+        else:
+            self._n_active -= 1
+        return True
+
+    # -- aging and reclaim ---------------------------------------------
+
+    def balance(self, target_inactive_fraction: float = 0.5) -> int:
+        """Demote lowest-stamp active pages until the inactive list holds
+        at least ``target_inactive_fraction`` of all pages.  Mirrors the
+        linked structure's loop exactly: the demote count comes from the
+        same float comparison sequence, pages demote in ascending stamp
+        order with fresh stamps, and referenced bits are cleared."""
+        space = self.space
+        where = space.lru_where
+        if self._counts_stale:
+            self._recount()
+        n_inactive = self._n_inactive
+        n_active = self._n_active
+        total = n_active + n_inactive
+        demoted = 0
+        while (
+            total
+            and (n_inactive + demoted) < total * target_inactive_fraction
+            and demoted < n_active
+        ):
+            demoted += 1
+        if not demoted:
+            return 0
+        act = np.flatnonzero(where == LRU_ACTIVE)
+        stamps = space.lru_stamp[act]
+        if demoted < len(act):
+            part = np.argpartition(stamps, demoted - 1)[:demoted]
+            victims = act[part][np.argsort(stamps[part], kind="stable")]
+        else:
+            victims = act[np.argsort(stamps, kind="stable")]
+        pages = space.pages
+        for vpn in victims.tolist():
+            # Referenced clears via the page accessor so shared pages
+            # whose flag home is another space behave like the linked
+            # structure's ``page.referenced = False``.
+            pages[vpn].referenced = False
+            stamp = self._take_stamps(1)
+            where[vpn] = LRU_INACTIVE
+            space.lru_stamp[vpn] = stamp
+        self._n_inactive += demoted
+        self._n_active -= demoted
+        if self.tracer is not None:
+            self.tracer.emit(
+                LRU_DEMOTE, self.name, 0, n_inactive + demoted, demoted
+            )
+        return demoted
+
+    def _refill_victim_queue(self) -> bool:
+        """Queue the lowest-stamp inactive pages; False when none exist."""
+        space = self.space
+        inactive = np.flatnonzero(space.lru_where == LRU_INACTIVE)
+        if not len(inactive):
+            return False
+        stamps = space.lru_stamp[inactive]
+        chunk = self.VICTIM_CHUNK
+        if len(inactive) > chunk:
+            part = np.argpartition(stamps, chunk - 1)[:chunk]
+            inactive = inactive[part]
+            stamps = stamps[part]
+        order = np.argsort(stamps, kind="stable")
+        self._victim_queue.extend(
+            zip(stamps[order].tolist(), inactive[order].tolist())
+        )
+        return True
+
+    def _select_victim_direct(self) -> Optional[Page]:
+        """Second-chance scan over a small inactive set, no queue.
+
+        One stamp argsort replays the linked structure's tail-to-head
+        walk: every referenced page before the first unreferenced one
+        rotates (referenced cleared, fresh stamp, in stamp order), the
+        first unreferenced page is the victim.  An all-referenced set
+        rotates completely and the walk restarts — the first-rotated
+        page, now lowest-stamped and clean, wins, exactly as the linked
+        loop's ``len(inactive) + 1`` iterations end."""
+        space = self.space
+        where = space.lru_where
+        stamp_arr = space.lru_stamp
+        pages = space.pages
+        while True:
+            inactive = np.flatnonzero(where == LRU_INACTIVE)
+            if not len(inactive):
+                return None
+            order = np.argsort(stamp_arr[inactive], kind="stable")
+            for vpn in inactive[order].tolist():
+                page = pages[vpn]
+                # The referenced accessor keeps shared pages (flag home
+                # in another space) behaving like the linked structure.
+                if page.referenced:
+                    page.referenced = False
+                    stamp_arr[vpn] = self._take_stamps(1)  # rotate to head
+                    continue
+                where[vpn] = LRU_NONE
+                self._n_inactive -= 1
+                return page
+            # Everything rotated: scan again from the fresh stamps.
+
+    def select_victim(self) -> Optional[Page]:
+        """Pick an eviction victim from the inactive tail.
+
+        A referenced candidate gets a second chance (fresh stamp, the
+        rotation-to-head of the linked structure, with its referenced bit
+        cleared).  Small inactive sets are scanned directly; large ones
+        go through a chunked candidate queue — new stamps are always
+        higher than queued ones, so the queue front, revalidated against
+        promotion/removal/rotation at pop time, is always the current
+        lowest-stamp inactive page.
+        """
+        space = self.space
+        where = space.lru_where
+        stamp_arr = space.lru_stamp
+        pages = space.pages
+        queue = self._victim_queue
+        while queue:
+            stamp, vpn = queue.popleft()
+            if where[vpn] != LRU_INACTIVE or stamp_arr[vpn] != stamp:
+                continue  # promoted, removed, or rotated since queued
+            page = pages[vpn]
+            if page.referenced:
+                page.referenced = False
+                stamp_arr[vpn] = self._take_stamps(1)  # rotate to head
+                continue
+            where[vpn] = LRU_NONE
+            self._n_inactive -= 1
+            return page
+        n_inactive = self._count_of(LRU_INACTIVE)
+        if n_inactive:
+            if len(where) <= 4 * self.VICTIM_CHUNK:
+                # Small spaces: churn stales queued candidates faster
+                # than the queue amortizes, and the direct scan's
+                # full-array pass is trivial at this size.  (Gate on the
+                # array length, not ``n_inactive`` — a small inactive set
+                # over a huge space still costs a whole-array scan per
+                # call on the direct path.)
+                victim = self._select_victim_direct()
+                if victim is not None:
+                    return victim
+            else:
+                self._refill_victim_queue()
+                while queue:
+                    stamp, vpn = queue.popleft()
+                    if where[vpn] != LRU_INACTIVE or stamp_arr[vpn] != stamp:
+                        continue
+                    page = pages[vpn]
+                    if page.referenced:
+                        page.referenced = False
+                        stamp_arr[vpn] = self._take_stamps(1)
+                        continue
+                    where[vpn] = LRU_NONE
+                    self._n_inactive -= 1
+                    return page
+                # Rare: every queued candidate went stale or rotated —
+                # fall through to the direct scan for the full walk.
+                victim = self._select_victim_direct()
+                if victim is not None:
+                    return victim
+        # Fall back to aging the active list; the freshly demoted pages
+        # arrive with referenced cleared, so the pop is unconditional
+        # (exactly the linked structure's fallback pop_tail).
+        self.balance()
+        inactive = np.flatnonzero(where == LRU_INACTIVE)
+        if not len(inactive):
+            return None
+        vpn = int(inactive[np.argmin(stamp_arr[inactive])])
+        where[vpn] = LRU_NONE
+        self._n_inactive -= 1
+        return pages[vpn]

@@ -6,6 +6,15 @@ the page is swapped out), the ``struct page`` fields Canvas adds (the
 reserved swap-entry ID of §5.1), residency/dirty/referenced bits, the
 mapcount used to route shared pages to the global swap partition, and the
 page lock held while swap I/O is in flight.
+
+Flat-state layout: once a page is attached to an address space, its
+dirty/referenced bits, access timestamp, and residency bit live in that
+space's flat numpy arrays (indexed by VPN) rather than in per-object
+slots.  The batched consume path updates whole runs of those arrays with
+a handful of vectorized ops; the scalar accessors below read and write
+the same storage, so both protocols always see one source of truth.  A
+free-standing page (no space attached, as unit tests build them) falls
+back to plain per-object slots.
 """
 
 from __future__ import annotations
@@ -57,15 +66,16 @@ class Page:
         "owner_name",
         "_resident",
         "_spaces",
-        "dirty",
-        "referenced",
+        "_flags",
+        "_dirty",
+        "_referenced",
+        "_last_access_us",
         "mapcount",
         "swap_entry",
         "reserved_entry",
         "in_swap_cache",
         "locked",
         "state",
-        "last_access_us",
         "hot_score",
         "prefetched",
         "prefetched_at_us",
@@ -76,11 +86,19 @@ class Page:
         self.page_id: int = next(_page_ids)
         self.vpn = vpn
         self.owner_name = owner_name
-        #: Address spaces mirroring this page's residency (see ``resident``).
+        #: Address spaces beyond the flag home also mirroring this page's
+        #: residency (see ``resident``).  Almost always empty — only
+        #: shared mappings populate it — so the hot setter touches the
+        #: home space directly and skips the loop.
         self._spaces: tuple = ()
+        #: The space whose flat arrays hold this page's dirty/referenced/
+        #: timestamp state (the first space attached); None while the page
+        #: is free-standing and the ``_dirty``/... slots are authoritative.
+        self._flags = None
         self._resident = True
-        self.dirty = False
-        self.referenced = False
+        self._dirty = False
+        self._referenced = False
+        self._last_access_us = 0.0
         self.mapcount = mapcount
         #: PTE contents while swapped out (None when resident).
         self.swap_entry: Optional["SwapEntry"] = None
@@ -90,7 +108,6 @@ class Page:
         #: Page lock held while swap I/O is outstanding.
         self.locked = False
         self.state = PageState.NEW
-        self.last_access_us = 0.0
         #: Consecutive LRU-head scans in which this page appeared (§5.1).
         self.hot_score = 0
         #: True if the page currently in the swap cache arrived via prefetch.
@@ -100,6 +117,53 @@ class Page:
         #: (§5.3 stale-prefetch detection); None when no prefetch pending.
         self.prefetch_timestamp_us: Optional[float] = None
 
+    # -- flat-array-backed flag accessors --------------------------------
+
+    @property
+    def dirty(self) -> bool:
+        space = self._flags
+        if space is None:
+            return self._dirty
+        return bool(space.dirty_bits[self.vpn])
+
+    @dirty.setter
+    def dirty(self, value: bool) -> None:
+        space = self._flags
+        if space is None:
+            self._dirty = value
+        else:
+            space.dirty_bits[self.vpn] = value
+
+    @property
+    def referenced(self) -> bool:
+        space = self._flags
+        if space is None:
+            return self._referenced
+        return bool(space.referenced_bits[self.vpn])
+
+    @referenced.setter
+    def referenced(self, value: bool) -> None:
+        space = self._flags
+        if space is None:
+            self._referenced = value
+        else:
+            space.referenced_bits[self.vpn] = value
+
+    @property
+    def last_access_us(self) -> float:
+        space = self._flags
+        if space is None:
+            return self._last_access_us
+        return float(space.last_access_arr[self.vpn])
+
+    @last_access_us.setter
+    def last_access_us(self, value: float) -> None:
+        space = self._flags
+        if space is None:
+            self._last_access_us = value
+        else:
+            space.last_access_arr[self.vpn] = value
+
     @property
     def resident(self) -> bool:
         return self._resident
@@ -107,15 +171,46 @@ class Page:
     @resident.setter
     def resident(self, value: bool) -> None:
         """Flip residency, keeping every mapping space's O(1) residency
-        map (the batched fast path's classification array) in sync."""
+        map and bitmap (the batched fast path's classification arrays)
+        and incremental resident counter in sync."""
+        changed = value != self._resident
         self._resident = value
         entry = self if value else None
-        for space in self._spaces:
-            space.resident_map[self.vpn] = entry
+        home = self._flags
+        if home is not None:
+            vpn = self.vpn
+            home.resident_map[vpn] = entry
+            home.resident_bits[vpn] = value
+            if changed:
+                home._resident_count += 1 if value else -1
+            if self._spaces:
+                for space in self._spaces:
+                    space.resident_map[vpn] = entry
+                    space.resident_bits[vpn] = value
+                    if changed:
+                        space._resident_count += 1 if value else -1
 
     def attach_space(self, space) -> None:
-        """Register an address space whose residency map mirrors this page."""
-        self._spaces = self._spaces + (space,)
+        """Register an address space whose residency map mirrors this page.
+
+        The first attached space becomes the page's flag home: the
+        current slot-held dirty/referenced/timestamp values migrate into
+        its flat arrays and the arrays become authoritative.  Later
+        spaces (shared mappings) land in ``_spaces`` and are mirrored by
+        the residency setter's slow loop.
+        """
+        vpn = self.vpn
+        if self._flags is None:
+            self._flags = space
+            space.dirty_bits[vpn] = self._dirty
+            space.referenced_bits[vpn] = self._referenced
+            space.last_access_arr[vpn] = self._last_access_us
+        else:
+            self._spaces = self._spaces + (space,)
+        space.resident_map[vpn] = self if self._resident else None
+        space.resident_bits[vpn] = self._resident
+        if self._resident:
+            space._resident_count += 1
 
     @property
     def shared(self) -> bool:
@@ -128,10 +223,18 @@ class Page:
 
     def touch(self, now_us: float, write: bool = False) -> None:
         """Record an access: set referenced (and dirty for writes)."""
-        self.referenced = True
-        self.last_access_us = now_us
-        if write:
-            self.dirty = True
+        space = self._flags
+        if space is None:
+            self._referenced = True
+            self._last_access_us = now_us
+            if write:
+                self._dirty = True
+        else:
+            vpn = self.vpn
+            space.referenced_bits[vpn] = True
+            space.last_access_arr[vpn] = now_us
+            if write:
+                space.dirty_bits[vpn] = True
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -20,6 +20,9 @@ Rules (names are the ``Violation.rule`` values):
   woken before the simulation ends.
 * ``fault-nesting`` — per (app, thread), fault begin/end records are
   balanced and never nest.
+* ``batch-pairing`` — per app, batch fast-path enter/exit records
+  alternate (consume calls are atomic), every exit reports a legal
+  outcome, and its run never overruns the entered batch tail.
 
 On a truncated trace (the ring wrapped), missing-*predecessor* findings
 are suppressed — the predecessor may simply have been overwritten — but
@@ -33,6 +36,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.obs.trace import (
+    BATCH_ENTER,
+    BATCH_EXIT,
     ENTRY_ALLOC,
     ENTRY_FREE,
     FAULT_BEGIN,
@@ -61,6 +66,7 @@ RULES = [
     "pool-live-twice",
     "park-without-wake",
     "fault-nesting",
+    "batch-pairing",
 ]
 
 
@@ -100,6 +106,8 @@ def check_trace(
     parked: Dict[Tuple[str, int], Tuple[int, float]] = {}
     # open faults: (app, thread) -> (vpn, t).
     fault_open: Dict[Tuple[str, int], Tuple[int, float]] = {}
+    # open batch fast-path runs: app -> (start, batch_len, t).
+    batch_open: Dict[str, Tuple[int, int, float]] = {}
 
     for t, kind, app, thread, key, arg in records:
         if kind == QP_ENQ:
@@ -248,6 +256,50 @@ def check_trace(
                         f"that never began",
                     )
                 )
+        elif kind == BATCH_ENTER:
+            open_batch = batch_open.get(app)
+            if open_batch is not None:
+                violations.append(
+                    Violation(
+                        "batch-pairing",
+                        t,
+                        app,
+                        f"batch run entered at index {key} while the run "
+                        f"entered at index {open_batch[0]} is still open",
+                    )
+                )
+            batch_open[app] = (key, arg, t)
+        elif kind == BATCH_EXIT:
+            open_batch = batch_open.pop(app, None)
+            if open_batch is None:
+                if not truncated:
+                    violations.append(
+                        Violation(
+                            "batch-pairing",
+                            t,
+                            app,
+                            "batch run exited without a matching enter",
+                        )
+                    )
+            elif key > open_batch[1] - open_batch[0]:
+                violations.append(
+                    Violation(
+                        "batch-pairing",
+                        t,
+                        app,
+                        f"batch run consumed {key} accesses but only "
+                        f"{open_batch[1] - open_batch[0]} were available",
+                    )
+                )
+            if arg not in (0, 1, 2):
+                violations.append(
+                    Violation(
+                        "batch-pairing",
+                        t,
+                        app,
+                        f"batch run exited with unknown outcome {arg}",
+                    )
+                )
 
     # End-of-trace: a completed simulation leaves no thread parked and
     # no fault open (the ring never drops a record newer than one it
@@ -268,6 +320,15 @@ def check_trace(
                 t,
                 app,
                 f"thread {thread}'s fault at vpn {vpn:#x} never ended",
+            )
+        )
+    for app, (start, _batch_len, t) in batch_open.items():
+        violations.append(
+            Violation(
+                "batch-pairing",
+                t,
+                app,
+                f"batch run entered at index {start} never exited",
             )
         )
     return violations

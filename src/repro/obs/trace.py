@@ -83,6 +83,11 @@ RETRANSMIT = 28  # request re-enqueued on the rtx QP; arg: attempt no.
 REQ_ACQUIRE = 29  # pooled request leaves the pool; arg: request_id
 REQ_RECYCLE = 30  # pooled request returned to the pool; arg: request_id
 
+# Batched resident fast path (kernel/swap_system.py, mem/lru.py).
+BATCH_ENTER = 31  # consume_batch entered; key = start index, arg = batch len
+BATCH_EXIT = 32  # consume_batch returned; key = run length, arg = outcome
+LRU_EPOCH = 33  # generation-stamp epoch renormalized; key = pages, arg = old gen
+
 KIND_NAMES = {
     FAULT_BEGIN: "fault_begin",
     FAULT_END: "fault_end",
@@ -115,6 +120,9 @@ KIND_NAMES = {
     RETRANSMIT: "retransmit",
     REQ_ACQUIRE: "req_acquire",
     REQ_RECYCLE: "req_recycle",
+    BATCH_ENTER: "batch_enter",
+    BATCH_EXIT: "batch_exit",
+    LRU_EPOCH: "lru_epoch",
 }
 
 
@@ -216,6 +224,9 @@ _INSTANT_KINDS = {
     WIRE_DROP,
     WIRE_ERROR,
     RETRANSMIT,
+    BATCH_ENTER,
+    BATCH_EXIT,
+    LRU_EPOCH,
 }
 
 
@@ -382,6 +393,8 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
                 "error_cqes": 0,
                 "retransmits": 0,
                 "wire_faults": 0,
+                "batch_runs": 0,
+                "lru_epochs": 0,
             }
         return entry
 
@@ -402,6 +415,8 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
         RETRANSMIT: "retransmits",
         WIRE_DROP: "wire_faults",
         WIRE_ERROR: "wire_faults",
+        BATCH_EXIT: "batch_runs",
+        LRU_EPOCH: "lru_epochs",
     }
 
     for t, kind, app, thread, key, arg in records:

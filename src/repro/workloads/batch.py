@@ -55,6 +55,8 @@ class AccessBatch:
         "_cpu_list",
         "_constant_cpu",
         "_write_positions",
+        "_write_pos_arr",
+        "_cpu_arr",
     )
 
     def __init__(
@@ -71,6 +73,8 @@ class AccessBatch:
         self._cpu_list: Optional[List[float]] = None
         self._constant_cpu: Optional[float] = _UNKNOWN
         self._write_positions: Optional[List[int]] = None
+        self._write_pos_arr: Optional[np.ndarray] = None
+        self._cpu_arr: Optional[np.ndarray] = None
 
     @classmethod
     def from_lists(
@@ -139,6 +143,35 @@ class AccessBatch:
                     k for k, w in enumerate(self._write_list) if w
                 ]
         return self._write_positions
+
+    # -- columns as arrays (the vectorized consume path's views) ---------
+
+    @property
+    def vpn_array(self) -> np.ndarray:
+        """The VPN column as a numpy array (built lazily for list batches)."""
+        if self._vpns is None:
+            self._vpns = np.asarray(self._vpn_list, dtype=np.int64)
+        return self._vpns
+
+    @property
+    def cpu_array(self) -> np.ndarray:
+        """The CPU column as float64 (only needed when cpu is non-constant)."""
+        if self._cpu_arr is None:
+            if self._cpu is not None:
+                self._cpu_arr = np.asarray(self._cpu, dtype=np.float64)
+            else:
+                self._cpu_arr = np.asarray(self._cpu_list, dtype=np.float64)
+        return self._cpu_arr
+
+    @property
+    def write_pos_array(self) -> np.ndarray:
+        """``write_positions`` as an array, for searchsorted range slicing."""
+        if self._write_pos_arr is None:
+            if self._writes is not None:
+                self._write_pos_arr = np.flatnonzero(self._writes)
+            else:
+                self._write_pos_arr = np.asarray(self.write_positions, dtype=np.int64)
+        return self._write_pos_arr
 
     def accesses(self) -> Iterator[Access]:
         """The batch as scalar ``(vpn, is_write, cpu_us)`` tuples."""

@@ -66,6 +66,7 @@ def build_system(
     prefetcher=None,
     cache_pages=64,
     n_cores=4,
+    flat_state=False,
 ):
     """A Linux-baseline system with one app; returns (system, app, vma)."""
     config = SwapSystemConfig(shared_cache_pages=cache_pages)
@@ -80,6 +81,7 @@ def build_system(
     app = AppContext(
         machine.engine,
         CgroupConfig(name="app", n_cores=n_cores, local_memory_pages=local_pages),
+        flat_state=flat_state,
     )
     vma = app.space.map_region(total_pages, name="heap")
     system.register_app(app)

@@ -288,6 +288,7 @@ def test_rule_catalogue_is_complete(traced_run):
         "pool-live-twice",
         "park-without-wake",
         "fault-nesting",
+        "batch-pairing",
     }
 
 
@@ -311,3 +312,82 @@ def test_tracing_off_attaches_no_buffer():
     assert result.trace is None
     assert result.system.trace is None
     assert result.machine.nic.tracer is None
+
+
+# -- batch fast-path tracepoints ----------------------------------------------
+
+
+def test_batch_tracepoints_pair_and_count(traced_run):
+    """Every vectorized consume run leaves one enter + one exit, exits
+    carry legal outcomes, and the summary counts the runs."""
+    from repro.obs.trace import BATCH_ENTER, BATCH_EXIT
+
+    records = traced_run.trace.records()
+    enters = [r for r in records if r[1] == BATCH_ENTER]
+    exits = [r for r in records if r[1] == BATCH_EXIT]
+    assert enters and len(enters) == len(exits)
+    assert all(r[5] in (0, 1, 2) for r in exits)
+    # Runs never overrun the batch they entered.
+    for enter, leave in zip(enters, exits):
+        assert leave[4] <= enter[5] - enter[4]
+    summary = summarize_trace(records)
+    assert summary["memcached"]["batch_runs"] == len(exits)
+
+
+def test_checker_flags_unpaired_batch_records(traced_run):
+    from repro.obs.trace import BATCH_ENTER, BATCH_EXIT
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    # Exit without enter.
+    bad = records + [(t + 1.0, BATCH_EXIT, "memcached", 0, 3, 0)]
+    assert any(v.rule == "batch-pairing" for v in check_trace(bad))
+    # Nested enter, then a run longer than the entered tail.
+    bad = records + [
+        (t + 1.0, BATCH_ENTER, "memcached", 0, 0, 8),
+        (t + 2.0, BATCH_ENTER, "memcached", 0, 4, 8),
+        (t + 3.0, BATCH_EXIT, "memcached", 0, 99, 1),
+    ]
+    rules = [v.rule for v in check_trace(bad)]
+    assert rules.count("batch-pairing") >= 2
+    # Unknown outcome.
+    bad = records + [
+        (t + 1.0, BATCH_ENTER, "memcached", 0, 0, 8),
+        (t + 2.0, BATCH_EXIT, "memcached", 0, 8, 7),
+    ]
+    assert any(v.rule == "batch-pairing" for v in check_trace(bad))
+
+
+def test_lru_epoch_rollover_traced():
+    """Epoch renormalization emits LRU_EPOCH and the checker stays green."""
+    from repro.mem import AddressSpace, GenerationLRU
+    from repro.obs.trace import LRU_EPOCH
+
+    engine = FakeEngine()
+    buf = TraceBuffer(engine, capacity=256)
+    space = AddressSpace("epoch")
+    vma = space.map_region(8)
+    lru = GenerationLRU(space, name="epoch", epoch_limit=5)
+    lru.tracer = buf
+    for vpn in vma.vpns():
+        lru.insert(space.pages[vpn])
+    assert lru.epochs >= 1
+    epochs = [r for r in buf.records() if r[1] == LRU_EPOCH]
+    assert len(epochs) == lru.epochs
+    # key = pages renormalized, arg = the stamp counter that was compacted.
+    assert all(0 < r[4] <= 8 and r[5] >= r[4] for r in epochs)
+    assert summarize_trace(buf.records())["epoch"]["lru_epochs"] == lru.epochs
+    assert check_trace(buf.records()) == []
+    # Order survived the rollovers.
+    assert [p.vpn for p in lru.inactive] == list(vma.vpns())
+
+
+def test_untraced_flat_lru_has_no_tracer_attached():
+    """Zero-overhead-off: without trace=True nothing is ever emitted on
+    the batch fast path or the epoch edge (tracer stays None)."""
+    result = run_experiment(
+        ["memcached"], ExperimentConfig(system="canvas", scale=0.05, seed=3)
+    )
+    assert result.trace is None
+    for app in result.apps.values():
+        assert app.lru.tracer is None

@@ -225,3 +225,21 @@ def test_batched_digest_unaffected_by_profiler():
     assert profiler.accesses == sum(
         profiled.results[name].stats.accesses for name in GROUP
     )
+
+
+def test_flat_consume_core_matches_scan_core(monkeypatch):
+    """The vectorized consume core and the per-page scan core are
+    interchangeable on the same flat-state run: forcing every consume
+    through the scan fallback may not change a single simulated number."""
+    from repro.kernel.swap_system import BaseSwapSystem
+
+    corun = ["snappy", "memcached", "spark_lr"]
+    flat = run_experiment(corun, tiny("linux", batched_streams=True))
+
+    def scan_only(self, app, batch, start, pending_cpu, flush_us):
+        return self._consume_batch_scan(app, batch, start, pending_cpu, flush_us, None)
+
+    monkeypatch.setattr(BaseSwapSystem, "consume_batch", scan_only)
+    scanned = run_experiment(corun, tiny("linux", batched_streams=True))
+    assert_same_result(flat, scanned)
+    assert result_digest(flat) == result_digest(scanned)

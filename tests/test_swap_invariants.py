@@ -231,3 +231,56 @@ def test_system_end_state_reconciles(faulted):
             stats.wire_drops + stats.completion_errors
             == stats.retransmits + stats.transport_failures
         )
+
+
+@pytest.mark.parametrize("flat_state", [False, True])
+def test_residency_accounting_reconciles(flat_state):
+    """The O(1) resident counter, the residency bitmap, the resident_map,
+    and a full page-dict scan must always agree, and the frame-pool
+    charge ledger must balance — on both LRU representations."""
+    from repro.workloads.batch import chunk_stream
+
+    machine = Machine(seed=5)
+    system, app, vma = build_system(machine, flat_state=flat_state)
+    stream = chunk_stream(sequential_accesses(vma, 6000, write=True))
+    proc = spawn_app(system, app, [stream], batched=True)
+    run_to_completion(machine.engine, [proc])
+    machine.engine.run(until=machine.engine.now + 200_000)
+
+    assert app.finished_at_us is not None
+    space = app.space
+    by_dict = sum(1 for p in space.pages.values() if p.resident)
+    by_map = sum(1 for p in space.resident_map if p is not None)
+    by_bits = int(space.resident_bits.sum())
+    assert space.resident_pages == by_dict == by_map == by_bits
+    pool = app.pool
+    assert pool.stats.charges - pool.stats.uncharges == pool.used
+    if flat_state:
+        # Flat LRU classification covers exactly the LRU members, and
+        # every page on the LRU is resident.
+        on_lru = np.flatnonzero(space.lru_where != 0)
+        assert len(app.lru) == len(on_lru)
+        assert bool(space.resident_bits[on_lru].all())
+
+
+def test_flat_and_legacy_state_agree_end_to_end():
+    """Same seeded run on both representations: identical access/fault
+    counts, completion time, and final residency."""
+    from repro.workloads.batch import chunk_stream
+
+    outcomes = {}
+    for flat_state in (False, True):
+        machine = Machine(seed=9)
+        system, app, vma = build_system(machine, flat_state=flat_state)
+        stream = chunk_stream(sequential_accesses(vma, 6000, write=True))
+        proc = spawn_app(system, app, [stream], batched=True)
+        run_to_completion(machine.engine, [proc])
+        machine.engine.run(until=machine.engine.now + 200_000)
+        outcomes[flat_state] = (
+            app.stats.accesses,
+            app.stats.faults,
+            app.stats.swapouts,
+            app.finished_at_us,
+            app.space.resident_pages,
+        )
+    assert outcomes[False] == outcomes[True]
