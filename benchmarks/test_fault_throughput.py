@@ -23,9 +23,16 @@ artifact; ``benchmarks/check_regression.py`` compares them against the
 checked-in baseline.  When the slow-path overhaul landed, the canvas
 configuration measured 1.67x faults/sec over the previous slow path
 (interleaved min-of-mins: 0.564s -> 0.338s per run) and linux+leap
-1.36x, with every simulated number bit-identical.  Each test also re-runs its configuration with the
-simulation profiler attached and asserts digest equality — profiled
-and unprofiled slow paths must produce bit-identical simulations.
+1.36x, with every simulated number bit-identical.  The grouped-admission
+pass (PR 7: coalesced fault groups, doorbell-batched submission, the
+append-fed LRU victim queue, and assorted hot-path micro-work) measured
+a further ~1.25x on this canvas configuration and ~1.38x under a denser
+fault storm (local memory at 10%, see ``test_fault_group_throughput``),
+with linux+leap roughly unchanged (~1.05x) — all interleaved
+median-of-ratios A/B against the pre-PR tree, digests identical.  Each
+test also re-runs its configuration with the simulation profiler
+attached and asserts digest equality — profiled and unprofiled slow
+paths must produce bit-identical simulations.
 """
 
 from _common import print_header

@@ -65,3 +65,13 @@ class FastswapSystem(LinuxSwapSystem):
             self.nic.submit(self.sync_qp, request)
         else:
             self.nic.submit(self.async_qp, request)
+
+    def _submit_read_many(self, app: AppContext, requests) -> None:
+        # Split the run across the sync/async QPs; per-QP FIFO order is
+        # what dispatch sees, so stable partitioning is exact.
+        demands = [r for r in requests if r.kind is RequestKind.DEMAND]
+        others = [r for r in requests if r.kind is not RequestKind.DEMAND]
+        if demands:
+            self.nic.submit_many(self.sync_qp, demands)
+        if others:
+            self.nic.submit_many(self.async_qp, others)

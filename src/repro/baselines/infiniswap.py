@@ -70,6 +70,12 @@ class InfiniswapSystem(LinuxSwapSystem):
             lambda: self.nic.submit(self.read_qp, request),
         )
 
+    def _submit_read_many(self, app: AppContext, requests) -> None:
+        # No doorbell batching through the block layer: each bio pays its
+        # own submission cost, so keep the base per-request loop.
+        for request in requests:
+            self._submit_read(app, request)
+
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         request.enqueued_at_us = self.engine.now
         self.engine.call_after(

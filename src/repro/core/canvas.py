@@ -253,6 +253,9 @@ class CanvasSwapSystem(BaseSwapSystem):
     def _submit_read(self, app: AppContext, request: RdmaRequest) -> None:
         self.scheduler.submit(app.name, request)
 
+    def _submit_read_many(self, app, requests) -> None:
+        self.scheduler.submit_many(app.name, requests)
+
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         self.scheduler.submit(app.name, request)
 

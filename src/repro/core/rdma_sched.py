@@ -48,6 +48,12 @@ class _AppState:
     #: EWMA of observed read service time (forward → completion), µs.
     service_ewma_us: float = 20.0
     timeliness_floor_us: float = 200.0
+    #: Memoized timeliness threshold: the histogram only changes when its
+    #: count does, so the (count, floor, ceiling) key makes re-deriving
+    #: the percentile between samples free.  Host-side only.
+    _timeliness_hist: Optional[object] = None
+    _thr_key: tuple = (-1,)
+    _thr_value: float = 0.0
 
 
 @dataclass
@@ -133,6 +139,25 @@ class TwoDimensionalScheduler:
         else:
             self._kick_write()
 
+    def submit_many(self, app_name: str, requests) -> None:
+        """Doorbell twin of ``submit``: one VQP pass, one kick per op.
+
+        Per-request kicks after the first were no-ops anyway (the park
+        event latches), so forwarding order and timing are unchanged.
+        """
+        if not requests:
+            return
+        self._apps[app_name].vqp.push_many(requests)
+        kicked_read = kicked_write = False
+        for request in requests:
+            if request.op is RdmaOp.READ:
+                if not kicked_read:
+                    self._kick_read()
+                    kicked_read = True
+            elif not kicked_write:
+                self._kick_write()
+                kicked_write = True
+
     # -- timeliness --------------------------------------------------------
 
     def timeout_threshold_us(self, app_name: str) -> float:
@@ -140,13 +165,24 @@ class TwoDimensionalScheduler:
         state = self._apps[app_name]
         threshold = state.timeliness_floor_us
         if self.telemetry is not None:
-            hist = self.telemetry.timeliness_hist(app_name)
+            hist = state._timeliness_hist
+            if hist is None:
+                hist = state._timeliness_hist = self.telemetry.timeliness_hist(
+                    app_name
+                )
+            key = (hist.count, threshold, self.timeliness_ceiling_us)
+            if key == state._thr_key:
+                return state._thr_value
             if hist.count >= 30:
                 threshold = max(
                     threshold, hist.percentile(self.timeliness_percentile)
                 )
-        # A prefetch this late is never worth wire time, whatever the
-        # observed arrival-to-use distribution says.
+            # A prefetch this late is never worth wire time, whatever the
+            # observed arrival-to-use distribution says.
+            value = min(threshold, self.timeliness_ceiling_us)
+            state._thr_key = key
+            state._thr_value = value
+            return value
         return min(threshold, self.timeliness_ceiling_us)
 
     def estimated_service_us(self, app_name: str) -> float:
@@ -160,29 +196,48 @@ class TwoDimensionalScheduler:
     # -- selection ----------------------------------------------------------
 
     def _head_read_request(self, state: _AppState) -> Optional[RdmaRequest]:
-        """Horizontal dimension: next read for one app, applying drops."""
+        """Horizontal dimension: next read for one app, applying drops.
+
+        Heads are read straight off the VQP's per-kind deques (a dropped
+        head falls back to the skipping ``peek``); with horizontal
+        priority on and a demand pending, the prefetch queue is not
+        consulted at all — demand wins regardless.
+        """
         vqp = state.vqp
-        demand = vqp.peek(RequestKind.DEMAND)
-        if demand is not None or not self.horizontal:
-            # FIFO between kinds when horizontal scheduling is disabled:
-            # serve whichever was enqueued first.
-            prefetch = vqp.peek(RequestKind.PREFETCH)
-            if demand is None:
-                return prefetch
-            if prefetch is None or self.horizontal:
+        dq = vqp.demand_q
+        if dq:
+            demand = dq[0]
+            if demand.dropped:
+                demand = vqp.peek(RequestKind.DEMAND)
+        else:
+            demand = None
+        if demand is not None:
+            if self.horizontal:
                 return demand
-            # FIFO between kinds; request IDs break same-instant ties in
-            # submission order.
+            prefetch = vqp.peek(RequestKind.PREFETCH)
+            if prefetch is None:
+                return demand
+            # FIFO between kinds when horizontal scheduling is disabled:
+            # serve whichever was enqueued first; request IDs break
+            # same-instant ties in submission order.
             demand_key = (demand.enqueued_at_us, demand.request_id)
             prefetch_key = (prefetch.enqueued_at_us, prefetch.request_id)
             return demand if demand_key <= prefetch_key else prefetch
+        if not self.horizontal:
+            return vqp.peek(RequestKind.PREFETCH)
         # Only prefetches pending: drop stale ones from the head.
+        pq = vqp.prefetch_q
         while True:
-            prefetch = vqp.peek(RequestKind.PREFETCH)
+            if pq:
+                prefetch = pq[0]
+                if prefetch.dropped:
+                    prefetch = vqp.peek(RequestKind.PREFETCH)
+            else:
+                prefetch = None
             if prefetch is None:
                 return None
             if self.timeliness_drops and self._prefetch_is_stale(
-                state.vqp.app_name, prefetch
+                vqp.app_name, prefetch
             ):
                 vqp.pop(RequestKind.PREFETCH)  # pop first, then mark: pop
                 prefetch.dropped = True  # skips requests already marked
@@ -209,23 +264,27 @@ class TwoDimensionalScheduler:
         best_name = None
         best_start = None
         best_request = None
-        clock = (
-            self._virtual_clock_read
-            if op is RdmaOp.READ
-            else self._virtual_clock_write
-        )
-        for app_name, state in self._apps.items():
-            if op is RdmaOp.READ:
-                request = self._head_read_request(state)
+        read = op is RdmaOp.READ
+        clock = self._virtual_clock_read if read else self._virtual_clock_write
+        if read:
+            head = self._head_read_request
+            for app_name, state in self._apps.items():
+                request = head(state)
+                if request is None:
+                    continue
                 last_finish = state.read_finish_tag
-            else:
+                start = last_finish if last_finish > clock else clock
+                if best_start is None or start < best_start:
+                    best_name, best_start, best_request = app_name, start, request
+        else:
+            for app_name, state in self._apps.items():
                 request = state.vqp.peek(RequestKind.SWAPOUT)
+                if request is None:
+                    continue
                 last_finish = state.write_finish_tag
-            if request is None:
-                continue
-            start = max(last_finish, clock)
-            if best_start is None or start < best_start:
-                best_name, best_start, best_request = app_name, start, request
+                start = last_finish if last_finish > clock else clock
+                if best_start is None or start < best_start:
+                    best_name, best_start, best_request = app_name, start, request
         if best_request is None:
             return None
         state = self._apps[best_name]

@@ -99,7 +99,17 @@ def app_thread_batched(
     pending_cpu = 0.0
     pages = app.space.pages
     handle_fault = system.handle_fault
+    fault_group = system.handle_fault_group
     execute = app.cores.execute
+    # Grouped admission rides the same gate as the vectorized consume
+    # core (flat LRU state, no foreign pages); profiled runs keep the
+    # scalar-member path so fault-path attribution stays comparable.
+    grouped = (
+        profiler is None
+        and system.config.grouped_faults
+        and app.lru.flat
+        and not app.space.has_foreign_pages
+    )
     if profiler is None:
         consume = system.consume_batch
     else:
@@ -120,6 +130,15 @@ def app_thread_batched(
                 yield from execute(pending_cpu)
                 pending_cpu = 0.0
             elif outcome == BATCH_FAULT:
+                if grouped:
+                    # Coalesced admission: the whole run of consecutive
+                    # non-resident accesses resolves inside one call
+                    # (bit-identical member by member to the scalar
+                    # branch below); the returned index is the first
+                    # access the group did not consume.
+                    i = yield from fault_group(app, thread_id, batch, i, pending_cpu)
+                    pending_cpu = 0.0
+                    continue
                 vpn = batch.vpn_list[i]
                 write = batch.write_list[i]
                 if pending_cpu > 0.0:

@@ -42,6 +42,8 @@ from repro.obs.trace import (
     EVICT,
     FAULT_BEGIN,
     FAULT_END,
+    FAULT_GROUP_BEGIN,
+    FAULT_GROUP_END,
     FAULT_PARK,
     FAULT_WAKE,
     PF_CANCEL,
@@ -108,6 +110,13 @@ class SwapSystemConfig:
     #: fault is surfaced as a hard error — the fabric is persistently
     #: failing and graceful degradation is no longer meaningful.
     max_kernel_retries: int = 16
+    #: Coalesced fault admission: when a batch truncates at a miss, the
+    #: whole run of consecutive non-resident accesses for that thread is
+    #: admitted as one *fault group* (``handle_fault_group``) instead of
+    #: bouncing through the driver per fault.  Pure host-cost
+    #: optimization — yield sequences, timestamps, and digests are
+    #: bit-identical with it off (the ungrouped oracle).
+    grouped_faults: bool = True
 
 
 class BaseSwapSystem:
@@ -192,6 +201,20 @@ class BaseSwapSystem:
 
     def _submit_read(self, app: AppContext, request: RdmaRequest) -> None:
         raise NotImplementedError
+
+    def _submit_read_many(
+        self, app: AppContext, requests: List[RdmaRequest]
+    ) -> None:
+        """Doorbell hook: submit a batch of reads queued at one instant.
+
+        Base behaviour is one submit per request; systems with a batched
+        enqueue (Linux → ``RNIC.submit_many``, Canvas → the scheduler's
+        ``submit_many``) override this to ring one doorbell.  Callers
+        must only batch requests acquired within one atomic section (no
+        intervening yields), which is what makes the deferral invisible.
+        """
+        for request in requests:
+            self._submit_read(app, request)
 
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         raise NotImplementedError
@@ -655,7 +678,15 @@ class BaseSwapSystem:
     def handle_fault(
         self, app: AppContext, thread_id: int, vpn: int, write: bool
     ) -> Generator:
-        """The §2 fault path.  Yields until the page is mapped."""
+        """The §2 fault path.  Yields until the page is mapped.
+
+        This is the scalar oracle: :meth:`handle_fault_group` inlines an
+        exact copy of the resolution loop below (every yield of a fault
+        resumes through one less generator frame that way, and faults
+        dominate the resumes of a pressured co-run).  Any change to the
+        loop must be mirrored there; the grouped-vs-ungrouped digest
+        parity tests hold the two copies to bit-identical behavior.
+        """
         engine = self.engine
         stats = app.stats
         page = app.space.page(vpn)
@@ -665,13 +696,21 @@ class BaseSwapSystem:
         if tr is not None:
             tr.emit(FAULT_BEGIN, app.name, thread_id, vpn, 1 if write else 0)
         yield engine.sleep(self.config.fault_overhead_us)
-
         cache = self._cache_for(app, page)
         first_check = True
         while not page.resident:
             entry = page.swap_entry
             if first_check:
-                cached = cache.lookup(entry) if entry is not None else None
+                if entry is None:
+                    cached = None
+                elif not page.in_swap_cache:
+                    # The flag mirrors cache membership exactly, so a
+                    # miss needs no dict probe; count it as lookup()
+                    # would have.
+                    cache.stats.lookups += 1
+                    cached = None
+                else:
+                    cached = cache.lookup(entry)
                 if cached is not None:
                     stats.cache_hits += 1
                     if page.prefetched:
@@ -766,7 +805,15 @@ class BaseSwapSystem:
             )
             self._inflight[page] = event
             page.locked = True
-            yield from self._charge_frames(app, 1, thread_id)
+            # Uncontended charge fast path: ``_charge_frames`` begins
+            # with exactly this try_charge and ends with exactly this
+            # watermark kick, so inlining the success case skips only
+            # the throwaway generator.
+            if app.pool.try_charge(1):
+                if app.pool.above_low_watermark:
+                    self._kick_kswapd(app)
+            else:
+                yield from self._charge_frames(app, 1, thread_id)
             cache.insert(entry, page, prefetched=False)
             request = self._acquire_request(
                 RdmaOp.READ, RequestKind.DEMAND, app.name, entry, page
@@ -785,12 +832,201 @@ class BaseSwapSystem:
             if tr is not None:
                 tr.emit(FAULT_WAKE, app.name, thread_id, vpn)
             # Loop: the completion unlocked the page; next pass maps it.
-
         stats.fault_stall_us += engine.now - start
         if tr is not None:
             tr.emit(FAULT_END, app.name, thread_id, vpn, engine.now - start)
         for hook in self.fault_hooks:
             hook(app.name, thread_id, vpn, start, engine.now)
+
+    def handle_fault_group(
+        self, app: AppContext, thread_id: int, batch, index: int, pending_cpu: float
+    ) -> Generator:
+        """Admit a run of consecutive non-resident accesses as one group.
+
+        Called by the batched driver when ``consume_batch`` truncates at
+        ``batch[index]``.  The group is an *admission* optimization, not
+        an issue-order change: members resolve strictly one after
+        another through an exact inline copy of :meth:`handle_fault`'s
+        resolution loop (kept in lockstep with that scalar oracle), so
+        every yield, timestamp, and counter matches the ungrouped driver
+        loop (consume → flush → fault, per member) bit-for-bit.  What
+        the group saves is the per-member trip back through the driver
+        and the vectorized consume core: membership is one flat
+        ``resident_map`` read per member against hoisted locals.
+
+        Membership is dynamic — re-checked between members because a
+        prefetch landing mid-group makes the next access resident (the
+        group ends there; the driver's vectorized consume takes over),
+        and a page evicted after admission simply faults as the serial
+        path would.  Returns the next batch index via ``StopIteration``.
+        """
+        engine = self.engine
+        stats = app.stats
+        space = app.space
+        resident_map = space.resident_map
+        page_map = space.page_map
+        execute = app.cores.execute
+        tr = self.trace
+        fault_hooks = self.fault_hooks
+        overhead = self.config.fault_overhead_us
+        vpn_list = batch.vpn_list
+        write_list = batch.write_list
+        cpu = batch.constant_cpu
+        cpu_array = None if cpu is not None else batch.cpu_array
+        n = len(batch)
+        first_vpn = vpn_list[index]
+        if tr is not None:
+            # Planned run length: one vectorized residency gather over
+            # the batch tail (trace-only; actual membership is dynamic).
+            res = space.resident_bits[batch.vpn_array[index:]]
+            m = int(res.argmax())
+            planned = m if res[m] else n - index
+            tr.emit(FAULT_GROUP_BEGIN, app.name, thread_id, first_vpn, planned)
+        members = 0
+        i = index
+        while i < n:
+            vpn = vpn_list[i]
+            if members:
+                if resident_map[vpn] is not None:
+                    break  # a prefetch landed: back to the resident path
+                stats.accesses += 1
+                pending_cpu = pending_cpu + (
+                    cpu if cpu_array is None else float(cpu_array[i])
+                )
+            if pending_cpu > 0.0:
+                yield from execute(pending_cpu)
+                pending_cpu = 0.0
+            write = write_list[i]
+            page = page_map[vpn]
+            # Inline copy of handle_fault (the scalar oracle) — identical
+            # side-effect and yield sequence, one generator frame closer
+            # to the engine.  Mirror any change made there.
+            stats.faults += 1
+            start = engine.now
+            if tr is not None:
+                tr.emit(FAULT_BEGIN, app.name, thread_id, vpn, 1 if write else 0)
+            yield engine.sleep(overhead)
+            cache = self._cache_for(app, page)
+            first_check = True
+            while not page.resident:
+                entry = page.swap_entry
+                if first_check:
+                    if entry is None:
+                        cached = None
+                    elif not page.in_swap_cache:
+                        cache.stats.lookups += 1
+                        cached = None
+                    else:
+                        cached = cache.lookup(entry)
+                    if cached is not None:
+                        stats.cache_hits += 1
+                        if page.prefetched:
+                            if not page.locked:
+                                stats.prefetch_cache_hits += 1
+                                if tr is not None:
+                                    tr.emit(PF_HIT, app.name, thread_id, vpn)
+                                self.telemetry.timeliness_hist(app.name).record(
+                                    engine.now - page.prefetched_at_us
+                                )
+                                page.prefetched = False
+                            self._issue_prefetches(
+                                app, thread_id, vpn, prefetched_hit=True
+                            )
+                    first_check = False
+                else:
+                    cached = cache.peek(entry) if entry is not None else None
+
+                inflight_req = self._inflight_req.get(page)
+                writeback_rescue = (
+                    cached is not None
+                    and page.locked
+                    and inflight_req is not None
+                    and inflight_req.kind is RequestKind.SWAPOUT
+                )
+                if (cached is not None and not page.locked) or writeback_rescue:
+                    yield engine.sleep(self.config.map_in_cost_us)
+                    if page.resident:
+                        break
+                    if not page.in_swap_cache:
+                        continue
+                    current = self._inflight_req.get(page)
+                    rescuing = (
+                        page.locked
+                        and current is not None
+                        and current.kind is RequestKind.SWAPOUT
+                    )
+                    if page.locked and not rescuing:
+                        continue
+                    self._map_in(app, page, write)
+                    if rescuing:
+                        stats.writeback_rescues += 1
+                        if tr is not None:
+                            tr.emit(WB_RESCUE, app.name, thread_id, vpn)
+                        del self._inflight_req[page]
+                        stale_event = self._inflight.pop(page, None)
+                        if stale_event is not None and not stale_event.fired:
+                            stale_event.succeed()
+                    break
+
+                event = self._inflight.get(page)
+                if event is not None:
+                    if page.prefetched:
+                        stats.blocked_on_prefetch += 1
+                        if tr is not None:
+                            tr.emit(PF_LATE, app.name, thread_id, vpn)
+                    if tr is not None:
+                        tr.emit(FAULT_PARK, app.name, thread_id, vpn)
+                    yield from self._wait_inflight(app, page, thread_id, event)
+                    if tr is not None:
+                        tr.emit(FAULT_WAKE, app.name, thread_id, vpn)
+                    continue
+
+                # Demand swap-in.
+                stats.demand_swapins += 1
+                if entry is None:
+                    raise RuntimeError(
+                        f"{app.name}: vpn {vpn:#x} non-resident without swap entry"
+                    )
+                event = Event(
+                    engine,
+                    f"read.{app.name}.{vpn:#x}" if DEBUG_EVENT_NAMES else "",
+                )
+                self._inflight[page] = event
+                page.locked = True
+                if app.pool.try_charge(1):
+                    if app.pool.above_low_watermark:
+                        self._kick_kswapd(app)
+                else:
+                    yield from self._charge_frames(app, 1, thread_id)
+                cache.insert(entry, page, prefetched=False)
+                request = self._acquire_request(
+                    RdmaOp.READ, RequestKind.DEMAND, app.name, entry, page
+                )
+                self._inflight_req[page] = request
+                entry.timestamp_us = None
+                if tr is not None:
+                    tr.emit(
+                        DEMAND_ISSUE, app.name, thread_id, vpn, request.request_id
+                    )
+                self._submit_read(app, request)
+                self._issue_prefetches(app, thread_id, vpn)
+                if tr is not None:
+                    tr.emit(FAULT_PARK, app.name, thread_id, vpn)
+                yield from self._wait_inflight(app, page, thread_id, event)
+                if tr is not None:
+                    tr.emit(FAULT_WAKE, app.name, thread_id, vpn)
+            stats.fault_stall_us += engine.now - start
+            if tr is not None:
+                tr.emit(FAULT_END, app.name, thread_id, vpn, engine.now - start)
+            for hook in fault_hooks:
+                hook(app.name, thread_id, vpn, start, engine.now)
+            if write:
+                page.dirty = True
+            members += 1
+            i += 1
+        if tr is not None:
+            tr.emit(FAULT_GROUP_END, app.name, thread_id, first_vpn, members)
+        return i
 
     def _map_in(self, app: AppContext, page: Page, write: bool) -> None:
         """Move a swap-cache page into the process address space."""
@@ -952,16 +1188,24 @@ class BaseSwapSystem:
         behaviour per §2) or are simply dropped (application-tier
         proposals, which must not cannibalize the kernel tier's cache).
         """
+        if not vpns:
+            # Nothing proposed (silent readahead, empty window): skip the
+            # budget math but keep the trailing cache-pressure check —
+            # it can release over-budget clean pages regardless.
+            self._shrink_cache_if_needed(app)
+            return 0
         issued = 0
         # The in-flight window must fit comfortably in the cache that will
         # buffer the arrivals, or prefetches evict each other before use.
         cache_cap = self._private_cache(app).capacity_pages
         limit = min(self.config.max_inflight_prefetches, max(8, cache_cap // 2))
         budget = limit - self._inflight_prefetches(app)
+        to_submit: List[RdmaRequest] = []
+        page_or_none = app.space.page_or_none
         for vpn in vpns:
             if budget <= 0:
                 break
-            page = app.space.pages.get(vpn)
+            page = page_or_none(vpn)
             if page is None or page.resident or page.locked:
                 continue
             entry = page.swap_entry
@@ -975,7 +1219,13 @@ class BaseSwapSystem:
                 # "When memory runs low, the kernel releases existing
                 # pages from the swap cache to make room for newly
                 # fetched pages" (§2): recycle old clean cache pages
-                # (typically stale prefetches) before giving up.
+                # (typically stale prefetches) before giving up.  The
+                # pending doorbell flushes first so the NIC kick keeps
+                # its serial FIFO position ahead of the kswapd kick in
+                # the engine's immediate lane.
+                if to_submit:
+                    self._submit_read_many(app, to_submit)
+                    to_submit = []
                 self._shrink_cache_if_needed(app, force_min=2)
                 self._kick_kswapd(app)
                 if not app.pool.try_charge(1):
@@ -995,13 +1245,19 @@ class BaseSwapSystem:
             self._inflight_req[page] = request
             if self.trace is not None:
                 self.trace.emit(PF_ISSUE, app.name, 0, vpn, request.request_id)
-            self._submit_read(app, request)
+            # Submission is deferred to one doorbell after the loop: the
+            # whole pass runs at a single instant with no yields, so the
+            # NIC sees the same queue contents in the same order and the
+            # wakeup it schedules lands identically.
+            to_submit.append(request)
             issued += 1
             budget -= 1
             app.stats.prefetches_issued += 1
             self._inflight_prefetch_count[app.name] = (
                 self._inflight_prefetch_count.get(app.name, 0) + 1
             )
+        if to_submit:
+            self._submit_read_many(app, to_submit)
         self._shrink_cache_if_needed(app)
         return issued
 
@@ -1129,6 +1385,8 @@ class BaseSwapSystem:
         path of §2, used by direct reclaim.
         """
         cache = self._private_cache(app)
+        if force_min <= 0 and len(cache._pages) <= cache.capacity_pages:
+            return 0  # within budget and not forced: the common case
         target = max(cache.overflow, force_min)
         if target <= 0:
             return 0
@@ -1237,6 +1495,11 @@ class LinuxSwapSystem(BaseSwapSystem):
 
     def _submit_read(self, app: AppContext, request: RdmaRequest) -> None:
         self.nic.submit(self.read_qp, request)
+
+    def _submit_read_many(
+        self, app: AppContext, requests: List[RdmaRequest]
+    ) -> None:
+        self.nic.submit_many(self.read_qp, requests)
 
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         self.nic.submit(self.write_qp, request)

@@ -26,6 +26,9 @@ class Telemetry:
         self.write_bandwidth = BandwidthMeter(bin_us)
         #: Latency histograms keyed by (app, kind-value).
         self._latency: Dict[Tuple[str, str], Histogram] = {}
+        #: Same histograms keyed by (app, kind enum) — the completion
+        #: hook's hot-path alias of ``_latency``, never a separate store.
+        self._latency_by_kind: Dict[Tuple[str, RequestKind], Histogram] = {}
         #: Swap-out page rates per app.
         self._swapout_rate: Dict[str, RateMeter] = {}
         #: Swap-entry allocation rates per app.
@@ -40,17 +43,26 @@ class Telemetry:
             # Error CQE: no data moved, so neither bandwidth nor the
             # latency CDFs should see it (the retry's completion will).
             return
+        app_name = request.app_name
         if request.op is RdmaOp.READ:
             self.read_bandwidth.record(
-                request.app_name, request.completed_at_us, request.size_bytes
+                app_name, request.completed_at_us, request.size_bytes
             )
         else:
             self.write_bandwidth.record(
-                request.app_name, request.completed_at_us, request.size_bytes
+                app_name, request.completed_at_us, request.size_bytes
             )
         latency = request.latency_us
         if latency is not None:
-            self.latency_hist(request.app_name, request.kind).record(latency)
+            # Inline latency_hist: this hook runs once per completed
+            # RDMA, so skip the enum ``.value`` descriptor on the hit
+            # path by keying the hot cache on the enum member itself.
+            key = (app_name, request.kind)
+            hist = self._latency_by_kind.get(key)
+            if hist is None:
+                hist = self.latency_hist(app_name, request.kind)
+                self._latency_by_kind[key] = hist
+            hist.record(latency)
 
     # -- accessors ----------------------------------------------------------
 
@@ -67,7 +79,7 @@ class Telemetry:
         merged = Histogram(name=f"all.{kind.value}.latency")
         for (app, kind_value), hist in self._latency.items():
             if kind_value == kind.value:
-                merged.extend(hist._samples)
+                merged.add_many(hist._samples)
         return merged
 
     def swapout_rate(self, app_name: str) -> RateMeter:

@@ -76,8 +76,23 @@ class UserfaultfdChannel:
         self._store.put((thread_id, vpn))
 
     def _daemon_loop(self) -> Generator:
+        engine = self.engine
+        store = self._store
         while True:
-            thread_id, vpn = yield self._store.get()
+            # Inline the buffered-get: with an item already queued and
+            # nothing else runnable at this instant (empty immediate
+            # lane, no heap entry due), the granted event's late
+            # subscription would be the very next dispatch — taking the
+            # item synchronously is order-identical, not merely
+            # equivalent-in-practice, and saves that engine step.
+            if store._items and not engine._immediate:
+                heap = engine._heap
+                if not heap or heap[0][0] > engine.now:
+                    thread_id, vpn = store._items.popleft()
+                else:
+                    thread_id, vpn = yield store.get()
+            else:
+                thread_id, vpn = yield store.get()
             if self._handler is None:
                 continue
             # The daemon occupies one of the application's cores while it

@@ -80,6 +80,11 @@ class AddressSpace:
         #: classifies an access *and* fetches its page with one flat
         #: list index.  Unmapped/guard slots stay None.
         self.resident_map: List[Optional[Page]] = []
+        #: Every attached page indexed by raw VPN (resident or not): the
+        #: flat companion to ``resident_map`` that the fault slow path
+        #: reads, replacing the ``pages`` dict probe per fault/prefetch
+        #: proposal.  Unmapped/guard slots stay None.
+        self.page_map: List[Optional[Page]] = []
         #: Flat VPN-indexed kernel state (see module docstring).  The
         #: bitmap mirrors ``resident_map``; dirty/referenced/timestamps
         #: are the authoritative storage behind the ``Page`` accessors;
@@ -108,6 +113,8 @@ class AddressSpace:
     def _grow_resident_map(self, end_vpn: int) -> None:
         if end_vpn > len(self.resident_map):
             self.resident_map.extend([None] * (end_vpn - len(self.resident_map)))
+        if end_vpn > len(self.page_map):
+            self.page_map.extend([None] * (end_vpn - len(self.page_map)))
         if end_vpn > len(self.resident_bits):
             grow = end_vpn - len(self.resident_bits)
             self.resident_bits = np.concatenate(
@@ -135,9 +142,11 @@ class AddressSpace:
         self._next_vpn = vma.end_vpn + self.GUARD_PAGES
         self.vmas.append(vma)
         self._grow_resident_map(vma.end_vpn)
+        page_map = self.page_map
         for vpn in vma.vpns():
             page = Page(vpn, owner_name=self.name)
             self.pages[vpn] = page
+            page_map[vpn] = page
             page.attach_space(self)
         return vma
 
@@ -155,10 +164,12 @@ class AddressSpace:
         self.vmas.append(mirror)
         self._grow_resident_map(vma.end_vpn)
         self.has_foreign_pages = True
+        page_map = self.page_map
         for vpn in vma.vpns():
             page = other.pages[vpn]
             page.mapcount += 1
             self.pages[vpn] = page
+            page_map[vpn] = page
             page.attach_space(self)
         return mirror
 
@@ -166,9 +177,18 @@ class AddressSpace:
 
     def page(self, vpn: int) -> Page:
         try:
-            return self.pages[vpn]
-        except KeyError:
-            raise KeyError(f"{self.name}: unmapped vpn {vpn:#x}") from None
+            page = self.page_map[vpn] if vpn >= 0 else None
+        except IndexError:
+            page = None
+        if page is None:
+            raise KeyError(f"{self.name}: unmapped vpn {vpn:#x}")
+        return page
+
+    def page_or_none(self, vpn: int) -> Optional[Page]:
+        """Flat-indexed ``pages.get``: None for unmapped or guard VPNs."""
+        if 0 <= vpn < len(self.page_map):
+            return self.page_map[vpn]
+        return None
 
     def find_vma(self, vpn: int) -> Optional[VMA]:
         for vma in self.vmas:

@@ -9,7 +9,6 @@ scans the *head* of the active list, so :class:`LRUList` exposes that scan.
 
 from __future__ import annotations
 
-from collections import deque
 from typing import Dict, Iterator, List, Optional
 
 import numpy as np
@@ -21,6 +20,9 @@ __all__ = ["LRUList", "ActiveInactiveLRU", "GenerationLRU"]
 
 #: Sentinel distinguishing "absent" from a stored None value.
 _MISSING = object()
+
+#: Shared empty candidate queue (never mutated in place).
+_EMPTY_I64 = np.zeros(0, dtype=np.int64)
 
 
 class LRUList:
@@ -250,9 +252,12 @@ class GenerationLRU:
     The payoff is the batched resident fast path: ``note_access_run``
     retires a whole run of promotions/refreshes as two vectorized
     scatters, where the linked structure paid a dict probe per access.
-    Reclaim rebuilds victim order lazily — eviction candidates are
-    gathered in ascending-stamp chunks into a queue whose entries are
-    revalidated (still inactive, stamp unchanged) at pop time.
+    Reclaim keeps victim order as an append-fed candidate queue: every
+    transition into the inactive class takes a fresh stamp and appends
+    its ``(stamp, vpn)`` entry, so the queue is sorted by construction
+    and entries are revalidated (still inactive, stamp unchanged) at
+    pop time — eviction never scans the whole array to find the
+    lowest-stamp inactive page.
 
     Epochs: when the stamp counter reaches ``epoch_limit`` the stamps of
     all on-LRU pages are renormalized to their ranks (an ``LRU_EPOCH``
@@ -263,8 +268,13 @@ class GenerationLRU:
 
     flat = True
 
-    #: Eviction candidates gathered per queue refill.
-    VICTIM_CHUNK = 256
+    #: Spaces at or below this many pages use the direct scan instead of
+    #: the candidate-queue fallbacks (the two paths pick identical
+    #: victims; the direct scan's full-array pass is trivial here).
+    SMALL_SPACE_PAGES = 1024
+    #: Queue remainders at or below this take the per-entry drain; the
+    #: vectorized drain's fixed gather cost only amortizes above it.
+    DRAIN_GATHER_MIN = 64
 
     def __init__(
         self,
@@ -279,9 +289,30 @@ class GenerationLRU:
         self._gen = 0
         #: Completed epoch renormalizations.
         self.epochs = 0
-        #: Pending eviction candidates as ``(stamp, vpn)`` in ascending
-        #: stamp order; entries are revalidated at pop time.
-        self._victim_queue: deque = deque()
+        #: Pending eviction candidates: parallel stamp/VPN arrays in
+        #: ascending stamp order, consumed from ``_vq_pos``.  Entries
+        #: are revalidated at pop time; array storage lets the drain
+        #: revalidate the whole remainder in one vectorized pass.
+        self._vq_stamps: np.ndarray = _EMPTY_I64
+        self._vq_vpns: np.ndarray = _EMPTY_I64
+        self._vq_pos = 0
+        #: Append-fed queue segment.  Every transition *into* the
+        #: inactive class (insert, demote, second-chance rotation) takes
+        #: a fresh — monotonically increasing — stamp, so appending at
+        #: the tail keeps the whole queue in ascending stamp order for
+        #: free: eviction never needs a full-array scan to find the
+        #: lowest-stamp inactive page.  Stale entries (promoted or
+        #: removed pages) are dropped by pop-time revalidation, exactly
+        #: like the array segment's.
+        self._vq_tail_stamps: List[int] = []
+        self._vq_tail_vpns: List[int] = []
+        #: True while the queue provably holds an entry for every
+        #: inactive page at its current stamp.  Cleared when the append
+        #: protocol is invalidated (epoch renormalization compacts the
+        #: stamps, and at construction, when the space may hold inactive
+        #: pages this LRU never saw); appends pause while False and the
+        #: next drain rebuilds with one exhaustive refill scan.
+        self._vq_complete = False
         #: Incremental class sizes, so balance/reclaim never rescan the
         #: whole ``lru_where`` array.  Scalar mutators maintain them
         #: exactly; the vectorized ``note_access_run`` (whose duplicate
@@ -322,7 +353,15 @@ class GenerationLRU:
         space.lru_stamp[on_lru[order]] = np.arange(len(on_lru), dtype=np.int64)
         old_gen = self._gen
         self._gen = len(on_lru)
-        self._victim_queue.clear()  # queued stamps are stale now
+        # Queued stamps are stale now.  Drop both segments and mark the
+        # queue incomplete: appends pause until the next drain rebuilds
+        # it from the compacted stamps with one refill scan.
+        self._vq_stamps = _EMPTY_I64
+        self._vq_vpns = _EMPTY_I64
+        self._vq_pos = 0
+        self._vq_tail_stamps = []
+        self._vq_tail_vpns = []
+        self._vq_complete = False
         self.epochs += 1
         if self.tracer is not None:
             self.tracer.emit(LRU_EPOCH, self.name, 0, len(on_lru), old_gen)
@@ -349,6 +388,12 @@ class GenerationLRU:
         space.lru_where[vpn] = LRU_INACTIVE
         space.lru_stamp[vpn] = stamp
         self._n_inactive += 1
+        if self._vq_complete:
+            tail = self._vq_tail_vpns
+            tail.append(vpn)
+            self._vq_tail_stamps.append(stamp)
+            if len(tail) > (len(space.lru_where) << 2) and len(tail) > 8192:
+                self._vq_compact_tail()
 
     def note_access(self, page: Page) -> None:
         """Promote a referenced inactive page; refresh an active one."""
@@ -449,6 +494,11 @@ class GenerationLRU:
             stamp = self._take_stamps(1)
             where[vpn] = LRU_INACTIVE
             space.lru_stamp[vpn] = stamp
+            if self._vq_complete:
+                # Queue the demoted page (skipped once a stamp take hits
+                # the epoch edge; the next drain's refill rebuilds).
+                self._vq_tail_stamps.append(stamp)
+                self._vq_tail_vpns.append(vpn)
         self._n_inactive += demoted
         self._n_active -= demoted
         if self.tracer is not None:
@@ -458,21 +508,27 @@ class GenerationLRU:
         return demoted
 
     def _refill_victim_queue(self) -> bool:
-        """Queue the lowest-stamp inactive pages; False when none exist."""
+        """Rebuild the queue from every inactive page; False when none.
+
+        Steady state never gets here: each transition into the inactive
+        class appends its own queue entry, so the queue only empties
+        when the inactive set does.  The full-array scan survives for
+        the two cases that invalidate the append protocol — an epoch
+        renormalization (stamps compacted, queue dropped) and an LRU
+        bootstrapped over a space with pre-existing inactive pages.  The
+        rebuild must be exhaustive: later appends carry higher stamps,
+        so any inactive page left out here would be passed over in
+        favor of younger candidates.
+        """
         space = self.space
         inactive = np.flatnonzero(space.lru_where == LRU_INACTIVE)
         if not len(inactive):
             return False
         stamps = space.lru_stamp[inactive]
-        chunk = self.VICTIM_CHUNK
-        if len(inactive) > chunk:
-            part = np.argpartition(stamps, chunk - 1)[:chunk]
-            inactive = inactive[part]
-            stamps = stamps[part]
         order = np.argsort(stamps, kind="stable")
-        self._victim_queue.extend(
-            zip(stamps[order].tolist(), inactive[order].tolist())
-        )
+        self._vq_stamps = stamps[order]
+        self._vq_vpns = inactive[order]
+        self._vq_pos = 0
         return True
 
     def _select_victim_direct(self) -> Optional[Page]:
@@ -507,65 +563,203 @@ class GenerationLRU:
                 return page
             # Everything rotated: scan again from the fresh stamps.
 
-    def select_victim(self) -> Optional[Page]:
-        """Pick an eviction victim from the inactive tail.
+    def _vq_compact_tail(self) -> None:
+        """Drop stale append-segment entries (vectorized revalidation).
 
-        A referenced candidate gets a second chance (fresh stamp, the
-        rotation-to-head of the linked structure, with its referenced bit
-        cleared).  Small inactive sets are scanned directly; large ones
-        go through a chunked candidate queue — new stamps are always
-        higher than queued ones, so the queue front, revalidated against
-        promotion/removal/rotation at pop time, is always the current
-        lowest-stamp inactive page.
+        Revalidation at pop time would skip them anyway; compaction just
+        bounds the segment's memory when a space inserts far more than
+        it evicts.  Surviving entries keep their relative (ascending
+        stamp) order, so drain results are unchanged.
+        """
+        space = self.space
+        stamps = np.asarray(self._vq_tail_stamps, dtype=np.int64)
+        vpns = np.asarray(self._vq_tail_vpns, dtype=np.int64)
+        keep = (space.lru_where[vpns] == LRU_INACTIVE) & (
+            space.lru_stamp[vpns] == stamps
+        )
+        self._vq_tail_stamps = stamps[keep].tolist()
+        self._vq_tail_vpns = vpns[keep].tolist()
+
+    def _vq_promote_tail(self) -> None:
+        """Move the append segment into the (exhausted) array segment."""
+        self._vq_stamps = np.asarray(self._vq_tail_stamps, dtype=np.int64)
+        self._vq_vpns = np.asarray(self._vq_tail_vpns, dtype=np.int64)
+        self._vq_pos = 0
+        self._vq_tail_stamps = []
+        self._vq_tail_vpns = []
+
+    def _drain_segment_scalar(self) -> Optional[Page]:
+        """Per-entry array-segment drain: revalidate, rotate, pop.
+
+        Kept for shared-flag spaces (``page.referenced`` may live in a
+        foreign space's arrays), for drains that could cross the epoch
+        edge (the per-rotation ``_take_stamps(1)`` calls must be allowed
+        to renormalize mid-drain), and for short remainders where the
+        vectorized drain's gathers cost more than a few scalar pops.
         """
         space = self.space
         where = space.lru_where
         stamp_arr = space.lru_stamp
         pages = space.pages
-        queue = self._victim_queue
-        while queue:
-            stamp, vpn = queue.popleft()
+        vq_stamps = self._vq_stamps
+        vq_vpns = self._vq_vpns
+        n = len(vq_vpns)
+        pos = self._vq_pos
+        while pos < n:
+            stamp = vq_stamps[pos]
+            vpn = int(vq_vpns[pos])
+            pos += 1
             if where[vpn] != LRU_INACTIVE or stamp_arr[vpn] != stamp:
                 continue  # promoted, removed, or rotated since queued
             page = pages[vpn]
             if page.referenced:
                 page.referenced = False
-                stamp_arr[vpn] = self._take_stamps(1)  # rotate to head
+                fresh = self._take_stamps(1)
+                stamp_arr[vpn] = fresh  # rotate to head
+                if not self._vq_complete:
+                    # The rotation renormalized the epoch and replaced
+                    # the queue; the rest of this snapshot is stale and
+                    # the next drain rebuilds from the compacted stamps.
+                    return None
+                self._vq_tail_stamps.append(fresh)
+                self._vq_tail_vpns.append(vpn)
                 continue
             where[vpn] = LRU_NONE
             self._n_inactive -= 1
+            self._vq_pos = pos
             return page
-        n_inactive = self._count_of(LRU_INACTIVE)
-        if n_inactive:
-            if len(where) <= 4 * self.VICTIM_CHUNK:
-                # Small spaces: churn stales queued candidates faster
-                # than the queue amortizes, and the direct scan's
-                # full-array pass is trivial at this size.  (Gate on the
-                # array length, not ``n_inactive`` — a small inactive set
-                # over a huge space still costs a whole-array scan per
-                # call on the direct path.)
-                victim = self._select_victim_direct()
-                if victim is not None:
-                    return victim
-            else:
-                self._refill_victim_queue()
-                while queue:
-                    stamp, vpn = queue.popleft()
-                    if where[vpn] != LRU_INACTIVE or stamp_arr[vpn] != stamp:
-                        continue
-                    page = pages[vpn]
-                    if page.referenced:
-                        page.referenced = False
-                        stamp_arr[vpn] = self._take_stamps(1)
-                        continue
-                    where[vpn] = LRU_NONE
-                    self._n_inactive -= 1
-                    return page
-                # Rare: every queued candidate went stale or rotated —
-                # fall through to the direct scan for the full walk.
-                victim = self._select_victim_direct()
-                if victim is not None:
-                    return victim
+        self._vq_pos = pos
+        return None
+
+    def _drain_segment(self) -> Optional[Page]:
+        """Pop the next victim off the array segment (second chance).
+
+        One gather revalidates every remaining candidate and one scan of
+        the flat referenced bits finds the first evictable one; the
+        referenced candidates ahead of it batch-rotate with consecutive
+        stamps in queue order — value-for-value the sequence the
+        per-entry loop's ``_take_stamps(1)`` calls would assign (a VPN
+        can appear twice in the queue, but stamps are never reused
+        within an epoch, so at most one of its entries validates — no
+        entry can alias another's rotation).  Only taken when every
+        candidate's flag home is this space, the whole drain fits inside
+        the current stamp epoch, and the remainder is big enough that
+        one gather beats the per-entry loop — under fault storms the
+        inactive set (and so the queue) runs nearly empty and a couple
+        of scalar pops win; the gathers pay off on the fat queues of
+        large, lightly-pressured spaces.
+        """
+        pos = self._vq_pos
+        vq_vpns = self._vq_vpns
+        n = len(vq_vpns)
+        if pos >= n:
+            return None
+        space = self.space
+        if (
+            n - pos <= self.DRAIN_GATHER_MIN
+            or space.has_foreign_pages
+            or self._gen + (n - pos) > self.epoch_limit
+        ):
+            return self._drain_segment_scalar()
+        where = space.lru_where
+        stamp_arr = space.lru_stamp
+        vpns = vq_vpns[pos:]
+        live = np.flatnonzero(
+            (where[vpns] == LRU_INACTIVE) & (stamp_arr[vpns] == self._vq_stamps[pos:])
+        )
+        if not len(live):  # every entry promoted/removed/rotated away
+            self._vq_pos = n
+            return None
+        referenced = space.referenced_bits[vpns[live]]
+        unref = np.flatnonzero(~referenced)
+        if not len(unref):
+            # All live candidates are referenced: rotate them all and
+            # report the segment drained (the rotations re-queue them).
+            rotated = vpns[live]
+            space.referenced_bits[rotated] = False
+            start = self._take_stamps(len(rotated))
+            stamp_arr[rotated] = np.arange(
+                start, start + len(rotated), dtype=np.int64
+            )
+            self._vq_tail_stamps.extend(range(start, start + len(rotated)))
+            self._vq_tail_vpns.extend(rotated.tolist())
+            self._vq_pos = n
+            return None
+        first = int(unref[0])
+        if first:
+            rotated = vpns[live[:first]]
+            space.referenced_bits[rotated] = False
+            start = self._take_stamps(len(rotated))
+            stamp_arr[rotated] = np.arange(
+                start, start + len(rotated), dtype=np.int64
+            )
+            self._vq_tail_stamps.extend(range(start, start + len(rotated)))
+            self._vq_tail_vpns.extend(rotated.tolist())
+        victim = int(vpns[live[first]])
+        where[victim] = LRU_NONE
+        self._n_inactive -= 1
+        self._vq_pos = pos + int(live[first]) + 1
+        return space.pages[victim]
+
+    def _drain_victim_queue(self) -> Optional[Page]:
+        """Pop the next victim off the candidate queue (second chance).
+
+        Drains the sorted array segment, then promotes the append
+        segment (whose stamps are all higher) and keeps going; rotations
+        re-queue through the append segment, so an all-referenced queue
+        converges exactly like the linked structure's full rotation —
+        the first-rotated page, now lowest-stamped and clean, wins.
+        An incomplete queue (fresh LRU, or epoch renormalization since
+        the last drain) is first rebuilt with one exhaustive refill
+        scan.  ``None`` therefore means the inactive set is empty —
+        unless a mid-drain renormalization invalidated the queue again
+        (the caller's scan fallbacks cover that).
+        """
+        if not self._vq_complete:
+            # The refill takes no stamps, so completeness holds the
+            # moment it returns; set the flag first so its queue write
+            # is never wiped by a racing invariant check.
+            self._vq_complete = True
+            self._refill_victim_queue()
+        while True:
+            victim = self._drain_segment()
+            if victim is not None:
+                return victim
+            if self._vq_pos >= len(self._vq_vpns) and self._vq_tail_vpns:
+                self._vq_promote_tail()
+                continue
+            return None
+
+    def select_victim(self) -> Optional[Page]:
+        """Pick an eviction victim from the inactive tail.
+
+        A referenced candidate gets a second chance (fresh stamp, the
+        rotation-to-head of the linked structure, with its referenced bit
+        cleared).  Victims come off the append-fed candidate queue — new
+        stamps are always higher than queued ones, so the queue front,
+        revalidated against promotion/removal/rotation at pop time, is
+        always the current lowest-stamp inactive page.  The scans below
+        are fallbacks for an invalidated (renormalized/bootstrapped)
+        queue.
+        """
+        victim = self._drain_victim_queue()
+        if victim is not None:
+            return victim
+        space = self.space
+        where = space.lru_where
+        stamp_arr = space.lru_stamp
+        pages = space.pages
+        if not self._vq_complete:
+            # A mid-drain epoch renormalization invalidated the rebuilt
+            # queue; the direct scan replays the full second-chance walk
+            # without queue bookkeeping (its rotations renormalize
+            # freely — the next drain rebuilds from whatever stamps
+            # stand).
+            victim = self._select_victim_direct()
+            if victim is not None:
+                return victim
+        # Otherwise the drain's ``None`` is authoritative: the inactive
+        # set is empty, so fall through to aging the active list.
         # Fall back to aging the active list; the freshly demoted pages
         # arrive with referenced cleared, so the pop is unconditional
         # (exactly the linked structure's fallback pop_tail).

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_left, insort
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -37,6 +38,15 @@ class Histogram:
         #: Memoized percentile queries; hot paths (the scheduler's
         #: timeliness threshold) ask for the same q between samples.
         self._pcache: Dict[float, float] = {}
+        #: Lazily maintained sorted copy of ``_samples`` for quantile
+        #: queries.  ``np.percentile`` costs ~70µs per call in wrapper
+        #: overhead alone, which the scheduler's timeliness threshold
+        #: pays on every new sample; an insort-maintained list plus the
+        #: same linear interpolation (see :meth:`percentile`) returns
+        #: bit-identical values at a fraction of the cost.  Built on the
+        #: first percentile miss, so histograms that are never queried
+        #: pay nothing on the record path.
+        self._slist: Optional[List[float]] = None
         #: Created lazily on the first post-cap record, so histograms
         #: that never overflow (the common case) pay nothing.
         self._reservoir_rng: Optional[random.Random] = None
@@ -54,6 +64,8 @@ class Histogram:
             self.min_value = value
         if len(self._samples) < self.max_samples:
             self._samples.append(value)
+            if self._slist is not None:
+                insort(self._slist, value)
             self._sorted = None
             self._pcache.clear()
             return
@@ -67,11 +79,51 @@ class Histogram:
             )
         slot = rng.randrange(self.count)
         if slot < self.max_samples:
+            old = self._samples[slot]
             self._samples[slot] = value
+            if self._slist is not None:
+                del self._slist[bisect_left(self._slist, old)]
+                insort(self._slist, value)
             self._sorted = None
             self._pcache.clear()
 
     def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(value)
+
+    def add_many(self, values: Sequence[float]) -> None:
+        """Bulk ``record`` for batched ingestion (fault groups, merges).
+
+        Below the reservoir cap the whole batch is appended in one pass;
+        the running total folds left-to-right exactly like per-value
+        ``record`` calls would.  A batch that would overflow the cap
+        falls back to ``record`` so Algorithm R keeps its uniformity.
+        Either path invalidates the sorted view *and* the percentile
+        memo — a stale memo would serve pre-batch quantiles forever.
+        """
+        n = len(values)
+        if n == 0:
+            return
+        if len(self._samples) + n <= self.max_samples:
+            self._samples.extend(values)
+            if self._slist is not None:
+                slist = self._slist
+                for value in values:
+                    insort(slist, value)
+            self.count += n
+            total = self.total
+            for value in values:
+                total += value
+            self.total = total
+            high = max(values)
+            low = min(values)
+            if high > self.max_value:
+                self.max_value = high
+            if low < self.min_value:
+                self.min_value = low
+            self._sorted = None
+            self._pcache.clear()
+            return
         for value in values:
             self.record(value)
 
@@ -87,12 +139,31 @@ class Histogram:
         return self._sorted
 
     def percentile(self, q: float) -> float:
-        """q in [0, 100]."""
+        """q in [0, 100].
+
+        Linear interpolation between closest ranks — the same method
+        (and the same ``_lerp`` formulation, including the ``gamma >=
+        0.5`` rewrite for numerical symmetry) as ``np.percentile``'s
+        default, so results are bit-identical to calling numpy over the
+        sample array while skipping its per-call wrapper overhead.
+        """
         if not self._samples:
             return 0.0
         cached = self._pcache.get(q)
         if cached is None:
-            cached = float(np.percentile(self._ensure_sorted(), q))
+            slist = self._slist
+            if slist is None or len(slist) != len(self._samples):
+                slist = self._slist = sorted(self._samples)
+            pos = (q / 100.0) * (len(slist) - 1)
+            lo = math.floor(pos)
+            gamma = pos - lo
+            a = slist[int(lo)]
+            b = slist[int(math.ceil(pos))]
+            if gamma >= 0.5:
+                cached = b - (1 - gamma) * (b - a)
+            else:
+                cached = a + gamma * (b - a)
+            cached = float(cached)
             self._pcache[q] = cached
         return cached
 
@@ -132,9 +203,8 @@ class RateMeter:
         self.total = 0.0
 
     def record(self, now_us: float, count: float = 1.0) -> None:
-        self._bins[int(now_us // self.bin_us)] = (
-            self._bins.get(int(now_us // self.bin_us), 0.0) + count
-        )
+        index = int(now_us // self.bin_us)
+        self._bins[index] = self._bins.get(index, 0.0) + count
         self.total += count
 
     def series(self) -> List[Tuple[float, float]]:
@@ -171,7 +241,9 @@ class BandwidthMeter:
         self.totals: Dict[str, float] = {}
 
     def record(self, stream: str, now_us: float, n_bytes: int) -> None:
-        bins = self._bins.setdefault(stream, {})
+        bins = self._bins.get(stream)
+        if bins is None:  # avoid setdefault's throwaway dict per call
+            bins = self._bins[stream] = {}
         index = int(now_us // self.bin_us)
         bins[index] = bins.get(index, 0.0) + n_bytes
         self.totals[stream] = self.totals.get(stream, 0.0) + n_bytes

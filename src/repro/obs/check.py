@@ -23,6 +23,10 @@ Rules (names are the ``Violation.rule`` values):
 * ``batch-pairing`` — per app, batch fast-path enter/exit records
   alternate (consume calls are atomic), every exit reports a legal
   outcome, and its run never overruns the entered batch tail.
+* ``group-pairing`` — per (app, thread), fault-group begin/end records
+  alternate, every member fault completes inside an open group exactly
+  once (the end record's member count matches the fault ends observed),
+  and no group is left open at end of trace.
 
 On a truncated trace (the ring wrapped), missing-*predecessor* findings
 are suppressed — the predecessor may simply have been overwritten — but
@@ -42,6 +46,8 @@ from repro.obs.trace import (
     ENTRY_FREE,
     FAULT_BEGIN,
     FAULT_END,
+    FAULT_GROUP_BEGIN,
+    FAULT_GROUP_END,
     FAULT_PARK,
     FAULT_WAKE,
     QP_COMPLETE,
@@ -67,6 +73,7 @@ RULES = [
     "park-without-wake",
     "fault-nesting",
     "batch-pairing",
+    "group-pairing",
 ]
 
 
@@ -108,6 +115,8 @@ def check_trace(
     fault_open: Dict[Tuple[str, int], Tuple[int, float]] = {}
     # open batch fast-path runs: app -> (start, batch_len, t).
     batch_open: Dict[str, Tuple[int, int, float]] = {}
+    # open fault groups: (app, thread) -> [first_vpn, fault_ends_seen, t].
+    group_open: Dict[Tuple[str, int], List] = {}
 
     for t, kind, app, thread, key, arg in records:
         if kind == QP_ENQ:
@@ -256,6 +265,47 @@ def check_trace(
                         f"that never began",
                     )
                 )
+            open_group = group_open.get((app, thread))
+            if open_group is not None:
+                open_group[1] += 1
+        elif kind == FAULT_GROUP_BEGIN:
+            open_group = group_open.get((app, thread))
+            if open_group is not None:
+                violations.append(
+                    Violation(
+                        "group-pairing",
+                        t,
+                        app,
+                        f"thread {thread} admitted a fault group at vpn "
+                        f"{key:#x} while the group at vpn "
+                        f"{open_group[0]:#x} is still open",
+                    )
+                )
+            group_open[(app, thread)] = [key, 0, t]
+        elif kind == FAULT_GROUP_END:
+            open_group = group_open.pop((app, thread), None)
+            if open_group is None:
+                if not truncated:
+                    violations.append(
+                        Violation(
+                            "group-pairing",
+                            t,
+                            app,
+                            f"thread {thread} ended a fault group at vpn "
+                            f"{key:#x} that never began",
+                        )
+                    )
+            elif open_group[1] != arg:
+                violations.append(
+                    Violation(
+                        "group-pairing",
+                        t,
+                        app,
+                        f"thread {thread}'s fault group at vpn "
+                        f"{open_group[0]:#x} reported {arg} member(s) but "
+                        f"{open_group[1]} fault end(s) occurred inside it",
+                    )
+                )
         elif kind == BATCH_ENTER:
             open_batch = batch_open.get(app)
             if open_batch is not None:
@@ -329,6 +379,15 @@ def check_trace(
                 t,
                 app,
                 f"batch run entered at index {start} never exited",
+            )
+        )
+    for (app, thread), (vpn, _members, t) in group_open.items():
+        violations.append(
+            Violation(
+                "group-pairing",
+                t,
+                app,
+                f"thread {thread}'s fault group at vpn {vpn:#x} never ended",
             )
         )
     return violations

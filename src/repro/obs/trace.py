@@ -88,6 +88,10 @@ BATCH_ENTER = 31  # consume_batch entered; key = start index, arg = batch len
 BATCH_EXIT = 32  # consume_batch returned; key = run length, arg = outcome
 LRU_EPOCH = 33  # generation-stamp epoch renormalized; key = pages, arg = old gen
 
+# Coalesced fault admission (kernel/swap_system.py); key = first vpn.
+FAULT_GROUP_BEGIN = 34  # group admitted; arg: planned run length
+FAULT_GROUP_END = 35  # group done; arg: members actually faulted
+
 KIND_NAMES = {
     FAULT_BEGIN: "fault_begin",
     FAULT_END: "fault_end",
@@ -123,6 +127,8 @@ KIND_NAMES = {
     BATCH_ENTER: "batch_enter",
     BATCH_EXIT: "batch_exit",
     LRU_EPOCH: "lru_epoch",
+    FAULT_GROUP_BEGIN: "fault_group_begin",
+    FAULT_GROUP_END: "fault_group_end",
 }
 
 
@@ -227,6 +233,8 @@ _INSTANT_KINDS = {
     BATCH_ENTER,
     BATCH_EXIT,
     LRU_EPOCH,
+    FAULT_GROUP_BEGIN,
+    FAULT_GROUP_END,
 }
 
 
@@ -395,6 +403,7 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
                 "wire_faults": 0,
                 "batch_runs": 0,
                 "lru_epochs": 0,
+                "fault_groups": 0,
             }
         return entry
 
@@ -417,6 +426,7 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
         WIRE_ERROR: "wire_faults",
         BATCH_EXIT: "batch_runs",
         LRU_EPOCH: "lru_epochs",
+        FAULT_GROUP_BEGIN: "fault_groups",
     }
 
     for t, kind, app, thread, key, arg in records:

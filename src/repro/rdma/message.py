@@ -32,11 +32,21 @@ class RdmaOp(enum.Enum):
     READ = "read"  # swap-in: remote -> local
     WRITE = "write"  # swap-out: local -> remote
 
+    # Enum's default __hash__ is a Python-level call on the member name;
+    # these members key the NIC's per-op dispatch tables, hashed on
+    # every dispatch iteration.  Identity hashing (members are
+    # singletons, and enum equality is already identity) keeps those
+    # lookups in C.  Dicts iterate in insertion order either way, so no
+    # observable ordering depends on the hash values.
+    __hash__ = object.__hash__
+
 
 class RequestKind(enum.Enum):
     DEMAND = "demand"
     PREFETCH = "prefetch"
     SWAPOUT = "swapout"
+
+    __hash__ = object.__hash__  # same rationale as RdmaOp
 
 
 class RdmaRequest:

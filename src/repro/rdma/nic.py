@@ -141,6 +141,14 @@ class NicStats:
     degraded_transfers: int = 0
     #: Completions delayed by a remote-server slowdown episode.
     server_delayed: int = 0
+    #: Doorbell batching: multi-request submissions (one kick per run)
+    #: and drained serves (requests whose service/completion times were
+    #: computed arithmetically inside one dispatch wakeup instead of a
+    #: per-WQE generator re-entry).  Host-cost accounting only — never
+    #: part of a result digest.
+    doorbells: int = 0
+    drain_batches: int = 0
+    drained_serves: int = 0
 
 
 class RNIC:
@@ -233,6 +241,34 @@ class RNIC:
         qp.push(request)
         self._kick(request.op)
 
+    def submit_many(self, qp: PhysicalQP, requests: List[RdmaRequest]) -> None:
+        """Doorbell batching: post a run of requests with a single kick.
+
+        Equivalent to ``submit`` per request — same stamps, same trace
+        records, same FIFO order — except the dispatcher is woken once
+        for the whole run.  The per-request kicks it replaces were
+        no-ops after the first anyway (the wakeup event latches), so
+        the dispatch schedule is unchanged; only the Python call count
+        drops.  All requests must share one op (one QP implies that).
+        """
+        if not requests:
+            return
+        now = self.engine.now
+        tr = self.tracer
+        queue = qp._queue
+        for request in requests:
+            if request.enqueued_at_us is None:
+                request.enqueued_at_us = now
+            if tr is not None:
+                tr.emit(
+                    QP_ENQ, request.app_name, 0, request.request_id,
+                    request.kind.value,
+                )
+            queue.append(request)
+        qp.enqueued_total += len(requests)
+        self.stats.doorbells += 1
+        self._kick(requests[0].op)
+
     def _kick(self, op: RdmaOp) -> None:
         wakeup = self._wakeups[op]
         if wakeup is not None and not wakeup.fired:
@@ -310,6 +346,44 @@ class RNIC:
                     request.kind.value,
                 )
             release = channel.reserve(now + self.verb_overhead_us, request.size_bytes)
+            # Doorbell-batched drain: when the head priority group is a
+            # single FIFO with more work queued, the serial loop's next
+            # iterations are fully determined — each wake serves that
+            # queue's head, nothing can preempt it (strict priority,
+            # arrivals append behind), and every timestamp is pure float
+            # arithmetic.  Compute the whole run here and sleep once.
+            # Each step replicates the serial path bit for bit:
+            # wake_j = now_j + (release_j - now_j), completion at
+            # wake_j + base (call_at_exact avoids call_after's relative
+            # round-trip).  Gated off under tracing (QP_SERVE must carry
+            # real serve times) and profiling (attribution per serve).
+            if self.tracer is None and self.profiler is None:
+                groups = self._groups[op]
+                head = groups[0] if groups else None
+                if head is not None and len(head) == 1:
+                    queue = head[0]._queue
+                    if queue and not queue[0].dropped:
+                        stats = self.stats
+                        verb = self.verb_overhead_us
+                        base = self.base_latency_us
+                        reserve = channel.reserve
+                        complete = self._complete
+                        call_at = engine.call_at_exact
+                        w = now + (release - now)
+                        call_at(w + base, complete, request)
+                        drained = 0
+                        while queue and not queue[0].dropped:
+                            nxt = queue.popleft()
+                            nxt.issued_at_us = w
+                            rel = reserve(w + verb, nxt.size_bytes)
+                            w = w + (rel - w)
+                            call_at(w + base, complete, nxt)
+                            drained += 1
+                        stats.drain_batches += 1
+                        stats.drained_serves += drained
+                        self._rr_cursor[op] = 1
+                        yield engine.sleep_until(w)
+                        continue
             yield engine.sleep(release - now)
             # Propagation is pipelined: schedule completion off-loop.
             # The request rides in the scheduling entry — no closure.

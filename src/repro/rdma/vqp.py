@@ -27,8 +27,16 @@ class VirtualQP:
     def __init__(self, engine: Engine, app_name: str):
         self.engine = engine
         self.app_name = app_name
+        #: Direct per-kind handles: the scheduler's selection loop peeks
+        #: these thousands of times per co-run, so they are attributes
+        #: (no enum-hashed dict probe on the hot path).
+        self.demand_q: Deque[RdmaRequest] = deque()
+        self.prefetch_q: Deque[RdmaRequest] = deque()
+        self.swapout_q: Deque[RdmaRequest] = deque()
         self._queues: Dict[RequestKind, Deque[RdmaRequest]] = {
-            kind: deque() for kind in RequestKind
+            RequestKind.DEMAND: self.demand_q,
+            RequestKind.PREFETCH: self.prefetch_q,
+            RequestKind.SWAPOUT: self.swapout_q,
         }
         self.pushed_total = 0
         self.popped_total = 0
@@ -45,15 +53,46 @@ class VirtualQP:
 
     def push(self, request: RdmaRequest) -> None:
         """Application side: enqueue and stamp the request."""
-        request.enqueued_at_us = self.engine.now
-        if request.kind is RequestKind.PREFETCH:
+        now = self.engine.now
+        request.enqueued_at_us = now
+        kind = request.kind
+        if kind is RequestKind.DEMAND:
+            self.demand_q.append(request)
+        elif kind is RequestKind.PREFETCH:
             # §5.3: remember on the swap entry that a prefetch is in flight
             # so a later faulting thread can detect and drop it if stale.
-            request.entry.timestamp_us = self.engine.now
-        self._queues[request.kind].append(request)
+            request.entry.timestamp_us = now
+            self.prefetch_q.append(request)
+        else:
+            self.swapout_q.append(request)
         self.pushed_total += 1
         if request.kernel_retries:
             self.retried_total += 1
+
+    def push_many(self, requests) -> None:
+        """Application side: enqueue a run of requests with one call.
+
+        Same stamps and FIFO order as ``push`` per request; the swap
+        system batches a fault group's submissions through here so the
+        scheduler is kicked once per run instead of once per page.
+        """
+        now = self.engine.now
+        demand_q = self.demand_q
+        prefetch_q = self.prefetch_q
+        swapout_q = self.swapout_q
+        for request in requests:
+            request.enqueued_at_us = now
+            kind = request.kind
+            if kind is RequestKind.DEMAND:
+                demand_q.append(request)
+            elif kind is RequestKind.PREFETCH:
+                request.entry.timestamp_us = now
+                prefetch_q.append(request)
+            else:
+                swapout_q.append(request)
+            if request.kernel_retries:
+                self.retried_total += 1
+        self.pushed_total += len(requests)
 
     def pop(self, kind: RequestKind) -> Optional[RdmaRequest]:
         """Scheduler side: dequeue the oldest request of ``kind``.

@@ -421,3 +421,52 @@ def test_faulted_digests_stable_across_parallel_workers():
 def test_zero_fault_config_is_bit_identical_to_no_plan(system):
     """The A/B guard: a disabled plan must not perturb any system's run."""
     assert _digest(system, None) == _digest(system, FaultConfig())
+
+
+# -- Grouped fault admission under chaos ---------------------------------
+
+
+def _faulted_run(system, fault_config, grouped, seed=11):
+    overrides = {} if grouped else {"grouped_faults": False}
+    config = ExperimentConfig(
+        system=system,
+        scale=0.03,
+        seed=seed,
+        fault_config=fault_config,
+        system_config_overrides=overrides,
+    )
+    return run_experiment(["memcached"], config)
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+def test_grouped_admission_survives_every_fault_scenario(scenario):
+    """Coalesced admission under chaos: per-request verdicts still roll
+    inside a group, and the run is bit-identical to ungrouped admission."""
+    fault_config = scenario_config(scenario)
+    grouped = _faulted_run("canvas", fault_config, grouped=True)
+    ungrouped = _faulted_run("canvas", fault_config, grouped=False)
+    # (a) digest parity: grouping is an admission optimization, not a
+    # semantic change, even while members drop/error/retry.
+    assert result_digest(grouped) == result_digest(ungrouped)
+    # (b) the fault ledger reconciles: every injected transport fault
+    # was retransmitted to success or surfaced as an error CQE.
+    stats = grouped.machine.nic.stats
+    assert _reconciled(stats)
+    assert stats.error_cqes_delivered == stats.transport_failures
+    # (c) no leaked pooled requests, no stuck parked waiters.
+    system = grouped.system
+    assert system._inflight == {}
+    assert system._inflight_req == {}
+    assert all(n == 0 for n in system._outstanding_writebacks.values())
+    for request in system._request_pool:
+        assert request._in_pool
+        assert request.entry is None and request.page is None
+        assert not request.completion.fired
+
+
+@pytest.mark.parametrize("system", _AB_SYSTEMS)
+def test_grouped_admission_is_digest_invisible(system):
+    """Grouped vs. ungrouped admission on a clean fabric, every system."""
+    assert result_digest(
+        _faulted_run(system, None, grouped=True)
+    ) == result_digest(_faulted_run(system, None, grouped=False))

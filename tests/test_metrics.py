@@ -70,6 +70,46 @@ def test_histogram_insertion_after_percentile_query():
     assert hist.percentile(100) == 10.0  # sorted cache invalidated
 
 
+def test_histogram_add_many_matches_serial_records():
+    serial = Histogram()
+    batched = Histogram()
+    values = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6]
+    for value in values:
+        serial.record(value)
+    batched.add_many(values)
+    assert batched.count == serial.count
+    assert batched.total == serial.total  # same left-to-right fold
+    assert batched.min_value == serial.min_value
+    assert batched.max_value == serial.max_value
+    assert batched.percentile(50) == serial.percentile(50)
+
+
+def test_histogram_add_many_invalidates_percentile_memo():
+    """Regression: the bulk ingestion path must drop the memoized
+    percentile answers, not just the sorted view."""
+    hist = Histogram()
+    hist.add_many([1.0, 2.0])
+    assert hist.percentile(100) == 2.0  # primes _pcache
+    hist.add_many([10.0])
+    assert hist.percentile(100) == 10.0
+    assert hist.percentile(0) == 1.0
+    # And the overflow fallback invalidates too.
+    capped = Histogram(max_samples=4)
+    capped.add_many([1.0, 2.0, 3.0])
+    assert capped.percentile(100) == 3.0
+    capped.add_many([50.0, 60.0])  # would overflow: per-value fallback
+    assert capped.count == 5
+    assert capped.percentile(100) >= 3.0
+    assert capped.max_value == 60.0
+
+
+def test_histogram_add_many_empty_batch_is_noop():
+    hist = Histogram()
+    hist.add_many([])
+    assert hist.count == 0
+    assert hist.percentile(50) == 0.0
+
+
 # -- RateMeter -----------------------------------------------------------------
 
 

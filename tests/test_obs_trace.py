@@ -289,6 +289,7 @@ def test_rule_catalogue_is_complete(traced_run):
         "park-without-wake",
         "fault-nesting",
         "batch-pairing",
+        "group-pairing",
     }
 
 
@@ -356,6 +357,67 @@ def test_checker_flags_unpaired_batch_records(traced_run):
         (t + 2.0, BATCH_EXIT, "memcached", 0, 8, 7),
     ]
     assert any(v.rule == "batch-pairing" for v in check_trace(bad))
+
+
+def test_group_tracepoints_pair_and_count(traced_run):
+    """Every coalesced fault group leaves one begin + one end, member
+    counts match the fault ends inside, and the summary counts groups."""
+    from repro.obs.trace import FAULT_GROUP_BEGIN, FAULT_GROUP_END
+
+    records = traced_run.trace.records()
+    begins = [r for r in records if r[1] == FAULT_GROUP_BEGIN]
+    ends = [r for r in records if r[1] == FAULT_GROUP_END]
+    assert begins and len(begins) == len(ends)
+    # Begin/end alternate per (app, thread) — groups from different
+    # threads interleave — and every group resolves at least its first
+    # member.  The planned length is a residency snapshot at admission;
+    # membership is dynamic (pages evicted mid-group join it), so the
+    # actual count may land on either side of the plan.
+    open_by_thread = {}
+    for r in records:
+        if r[1] == FAULT_GROUP_BEGIN:
+            assert (r[2], r[3]) not in open_by_thread
+            assert r[5] >= 1
+            open_by_thread[(r[2], r[3])] = r
+        elif r[1] == FAULT_GROUP_END:
+            open_by_thread.pop((r[2], r[3]))
+            assert r[5] >= 1
+    assert not open_by_thread
+    summary = summarize_trace(records)
+    assert summary["memcached"]["fault_groups"] == len(ends)
+
+
+def test_checker_flags_unpaired_group_records(traced_run):
+    from repro.obs.trace import FAULT_BEGIN, FAULT_END, FAULT_GROUP_BEGIN, FAULT_GROUP_END
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    # End without begin (member completion outside an open group).
+    bad = records + [(t + 1.0, FAULT_GROUP_END, "memcached", 0, 0x42, 1)]
+    assert any(v.rule == "group-pairing" for v in check_trace(bad))
+    # ... forgiven on a truncated trace (the begin may have been dropped).
+    assert not any(
+        v.rule == "group-pairing" for v in check_trace(bad, truncated=True)
+    )
+    # Nested group begin.
+    bad = records + [
+        (t + 1.0, FAULT_GROUP_BEGIN, "memcached", 7, 0x42, 4),
+        (t + 2.0, FAULT_GROUP_BEGIN, "memcached", 7, 0x50, 4),
+    ]
+    assert any(v.rule == "group-pairing" for v in check_trace(bad))
+    # Double-unwind: a member's fault end recorded twice inside the group
+    # makes the end record's member count disagree with the trace.
+    bad = records + [
+        (t + 1.0, FAULT_GROUP_BEGIN, "memcached", 7, 0x42, 2),
+        (t + 2.0, FAULT_BEGIN, "memcached", 7, 0x42, 0),
+        (t + 3.0, FAULT_END, "memcached", 7, 0x42, 0),
+        (t + 4.0, FAULT_END, "memcached", 7, 0x42, 0),
+        (t + 5.0, FAULT_GROUP_END, "memcached", 7, 0x42, 1),
+    ]
+    assert any(v.rule == "group-pairing" for v in check_trace(bad))
+    # A group left open at end of trace fires even when truncated.
+    bad = records + [(t + 1.0, FAULT_GROUP_BEGIN, "memcached", 7, 0x42, 4)]
+    assert any(v.rule == "group-pairing" for v in check_trace(bad, truncated=True))
 
 
 def test_lru_epoch_rollover_traced():

@@ -253,3 +253,133 @@ def test_per_kind_completion_counters():
     assert nic.stats.swapout_completed == 1
     assert nic.stats.reads_completed == 5
     assert nic.stats.writes_completed == 1
+
+
+# -- Exact-time engine helpers (the drain's scheduling primitives) -------
+
+
+def test_call_at_exact_fires_at_absolute_instants():
+    eng = Engine()
+    fired = []
+
+    def proc():
+        eng.call_at_exact(2.5, fired.append, "later")
+        eng.call_at_exact(eng.now, fired.append, "now")
+        yield eng.sleep(5.0)
+
+    eng.spawn(proc())
+    eng.run()
+    assert fired == ["now", "later"]
+    with pytest.raises(SimulationError):
+        eng.call_at_exact(eng.now - 1.0, fired.append, "past")
+
+
+def test_sleep_until_wakes_at_exact_absolute_time():
+    eng = Engine()
+    wakes = []
+
+    def sleeper():
+        yield eng.sleep_until(1.5)
+        wakes.append(eng.now)
+        yield eng.sleep_until(1.5 + 2.0)
+        wakes.append(eng.now)
+        # Same-instant sleep_until resumes via the immediate lane.
+        yield eng.sleep_until(eng.now)
+        wakes.append(eng.now)
+
+    eng.spawn(sleeper())
+    eng.run()
+    assert wakes == [1.5, 3.5, 3.5]
+    # The timeouts were pooled and reused like relative sleeps.
+    assert len(eng._timeout_pool) >= 1
+
+
+def test_sleep_until_rejects_the_past():
+    eng = Engine()
+
+    def proc():
+        yield eng.sleep(2.0)
+        yield eng.sleep_until(1.0)
+
+    eng.spawn(proc())
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+# -- Doorbell batching and the arithmetic drain --------------------------
+
+
+def test_submit_many_matches_serial_submits():
+    """One doorbell for a run == one submit per request, record for
+    record: same stamps, same FIFO order, same completion schedule."""
+
+    def run(batched):
+        eng = Engine()
+        nic = RNIC(eng)
+        qp = nic.create_qp("q", RdmaOp.READ)
+        part = SwapPartition("p", 32)
+        owner = FakeOwner()
+        requests = [pooled_request(eng, part, owner) for _ in range(6)]
+        if batched:
+            nic.submit_many(qp, requests)
+        else:
+            for request in requests:
+                nic.submit(qp, request)
+        eng.run()
+        return eng.now, owner.completed, nic.stats
+
+    serial_now, serial_done, serial_stats = run(batched=False)
+    batch_now, batch_done, batch_stats = run(batched=True)
+    assert batch_now == serial_now  # exact float identity
+    assert len(batch_done) == len(serial_done) == 6
+    assert batch_stats.reads_completed == serial_stats.reads_completed
+    assert batch_stats.doorbells == 1 and serial_stats.doorbells == 0
+
+
+def test_drain_is_bit_identical_to_per_wqe_serving():
+    """The arithmetic drain (tracer off) must schedule the exact same
+    completion instants as per-WQE generator serving (tracer on, which
+    gates the drain off) — the permanent scalar oracle."""
+    from repro.obs import TraceBuffer
+
+    def run(drain):
+        eng = Engine()
+        nic = RNIC(eng)
+        if not drain:
+            nic.tracer = TraceBuffer(eng, capacity=4096)
+        qp = nic.create_qp("q", RdmaOp.READ)
+        part = SwapPartition("p", 64)
+        owner = FakeOwner()
+        requests = [pooled_request(eng, part, owner) for _ in range(12)]
+        nic.submit_many(qp, requests)
+        eng.run()
+        issued = [r.issued_at_us for r in requests]
+        completed = [r.completed_at_us for r in requests]
+        return eng.now, issued, completed, nic.stats
+
+    oracle_now, oracle_issued, oracle_completed, oracle_stats = run(drain=False)
+    drain_now, drain_issued, drain_completed, drain_stats = run(drain=True)
+    assert drain_now == oracle_now
+    assert drain_issued == oracle_issued
+    assert drain_completed == oracle_completed
+    assert oracle_stats.drain_batches == 0
+    assert drain_stats.drain_batches >= 1
+    assert drain_stats.drained_serves == 11  # first serve is per-WQE
+
+
+def test_drain_stops_at_a_dropped_queued_request():
+    eng = Engine()
+    nic = RNIC(eng)
+    qp = nic.create_qp("q", RdmaOp.READ)
+    part = SwapPartition("p", 32)
+    owner = FakeOwner()
+    requests = [pooled_request(eng, part, owner) for _ in range(4)]
+    nic.submit_many(qp, requests)
+    requests[2].dropped = True  # marked while queued, before dispatch
+    eng.run()
+    # The dropped member was peeled off by the drop-skip path, never
+    # served; the rest completed and everything was recycled.
+    assert nic.stats.dropped_skipped == 1
+    assert nic.stats.reads_completed == 3
+    assert requests[2].completed_at_us is None
+    assert set(owner._request_pool) == set(requests)
