@@ -17,11 +17,15 @@ Tolerances live in the baseline file per metric: ratio metrics such as
 absolute rates (steps/s, accesses/s, faults/s) vary with runner
 hardware and get a loose one.  ``REPRO_PERF_TOLERANCE_SCALE`` multiplies
 every tolerance (e.g. ``2.0`` on a known-slow runner); ``--update``
-rewrites the baseline from the provided JSONs, keeping tolerances.
+rewrites the baseline from the provided JSONs: existing metrics keep
+their tolerances, and guardable metrics (``*_per_second`` rates,
+``*_speedup`` ratios) from benchmarks or metrics not yet in the
+baseline are added with the default tolerance for their kind.
 
 Benchmarks present in the outputs but absent from the baseline are
-reported and ignored, so adding a benchmark never breaks CI until a
-baseline entry is recorded for it.
+reported and ignored by ``check``, so adding a benchmark never breaks
+CI until a baseline entry is recorded — run ``--update`` once to record
+it.
 """
 
 from __future__ import annotations
@@ -32,6 +36,22 @@ import sys
 from pathlib import Path
 
 BASELINE_PATH = Path(__file__).resolve().parent / "perf_baseline.json"
+
+#: Default tolerances for metrics newly adopted by ``--update``, keyed
+#: by name suffix.  Rates are runner-dependent (loose); speedup ratios
+#: are machine-independent (tight).  Metrics matching neither pattern
+#: are informational ``extra_info`` and never auto-guarded.
+DEFAULT_TOLERANCES = (
+    ("_per_second", 0.5),
+    ("_speedup", 0.3),
+)
+
+
+def _default_tolerance(metric: str) -> float | None:
+    for suffix, tolerance in DEFAULT_TOLERANCES:
+        if metric.endswith(suffix):
+            return tolerance
+    return None
 
 
 def load_results(paths: list[str]) -> dict[str, dict[str, float]]:
@@ -54,9 +74,22 @@ def update_baseline(results: dict[str, dict[str, float]]) -> None:
     baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
     for name, metrics in results.items():
         entries = baseline.setdefault(name, {})
+        # Refresh values of metrics already guarded, keeping tolerances.
         for metric, entry in entries.items():
             if metric in metrics:
                 entry["value"] = metrics[metric]
+        # Adopt guardable metrics this baseline has never seen — new
+        # benchmarks land with the default tolerance for their kind.
+        for metric, value in metrics.items():
+            if metric in entries:
+                continue
+            tolerance = _default_tolerance(metric)
+            if tolerance is None:
+                continue
+            entries[metric] = {"value": value, "tolerance": tolerance}
+            print(f"  adopted {name}.{metric} (tolerance {tolerance})")
+        if not entries:
+            del baseline[name]
     BASELINE_PATH.write_text(json.dumps(baseline, indent=1, sort_keys=True) + "\n")
     print(f"baseline updated: {BASELINE_PATH}")
 

@@ -82,3 +82,9 @@ class InfiniswapSystem(LinuxSwapSystem):
             self.block_layer_overhead_us,
             lambda: self.nic.submit(self.write_qp, request),
         )
+
+    def _submit_write_many(self, app: AppContext, requests) -> None:
+        # As with reads: every bio pays its own block-layer submission
+        # cost, so the write doorbell stays per-request here.
+        for request in requests:
+            self._submit_write(app, request)

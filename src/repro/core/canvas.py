@@ -259,6 +259,11 @@ class CanvasSwapSystem(BaseSwapSystem):
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         self.scheduler.submit(app.name, request)
 
+    def _submit_write_many(self, app, requests) -> None:
+        # Grouped reclaim's egress doorbell: one VQP push and one write
+        # kick for the round's writebacks, mirroring _submit_read_many.
+        self.scheduler.submit_many(app.name, requests)
+
     def _obtain_writeback_entry(
         self, app: AppContext, page: Page, core_id: int
     ) -> Generator:

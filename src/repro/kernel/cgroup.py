@@ -135,6 +135,15 @@ class AppContext:
         #: completion time is the headline metric in Figs. 2, 9-12.
         self.finished_at_us: Optional[float] = None
         self.started_at_us: float = 0.0
+        #: Writebacks in flight for this app; kswapd throttles on it so a
+        #: slow write path cannot pin every frame in unfinished
+        #: writebacks.  Invariants: never negative, and back to zero once
+        #: the swap system drains (see tests/test_swap_invariants.py).
+        self.outstanding_writebacks: int = 0
+        #: Prefetch reads in flight, maintained incrementally so the
+        #: issue path does not rescan every in-flight request.  Same
+        #: invariants as ``outstanding_writebacks``.
+        self.inflight_prefetches: int = 0
         #: Slot for runtime models (e.g. the JVM of §5.2) to attach to.
         self.runtime: Optional[object] = None
 

@@ -47,6 +47,9 @@ from repro.obs.trace import (
     FAULT_PARK,
     FAULT_WAKE,
     PF_CANCEL,
+    RECLAIM_GROUP_BEGIN,
+    RECLAIM_GROUP_END,
+    RECLAIM_LANE,
     PF_HIT,
     PF_ISSUE,
     PF_LATE,
@@ -117,6 +120,29 @@ class SwapSystemConfig:
     #: optimization — yield sequences, timestamps, and digests are
     #: bit-identical with it off (the ungrouped oracle).
     grouped_faults: bool = True
+    #: Grouped reclaim: kswapd hands each round's batch to one
+    #: ``_evict_many`` call (one revalidated victim-selection pass per
+    #: sub-batch, one generator for the whole batch, doorbell-deferred
+    #: writeback egress) instead of one ``_evict_one`` sub-generator per
+    #: page.  Applies to flat-state (generation-LRU) apps; the
+    #: write-side twin of ``grouped_faults`` and, like it, a pure
+    #: host-cost optimization — digest-identical to the serial oracle
+    #: kept behind ``False``.
+    grouped_reclaim: bool = True
+
+
+def _needs_writeback(page: Page) -> bool:
+    """Batch-cut predicate for grouped reclaim victim selection.
+
+    A clean victim with a kept swap entry is dropped instantaneously (no
+    yields), so any run of them plus the *first* writeback-needing
+    victim — dirty, or never swapped out — can be selected up front
+    without changing what the serial loop would have picked.  That first
+    writeback member yields in entry allocation, after which the LRU may
+    have been mutated by concurrent faults, so victims beyond it must be
+    selected after the yield: ``select_victims`` cuts the batch here.
+    """
+    return page.dirty or page.swap_entry is None
 
 
 class BaseSwapSystem:
@@ -145,12 +171,6 @@ class BaseSwapSystem:
         #: events); refilled via the engine's immediate lane strictly
         #: after each completion dispatch or dropped-request unwind.
         self._request_pool: List[RdmaRequest] = []
-        #: Writebacks in flight per app; kswapd throttles on this so slow
-        #: write paths cannot pin every frame in unfinished writebacks.
-        self._outstanding_writebacks: Dict[str, int] = {}
-        #: Prefetch reads in flight per app, maintained incrementally so
-        #: the issue path does not rescan every in-flight request.
-        self._inflight_prefetch_count: Dict[str, int] = {}
         #: Observers called as fn(app_name, thread_id, vpn, start_us,
         #: end_us) when a fault finishes (tracing / analysis hooks).
         self.fault_hooks: list = []
@@ -218,6 +238,23 @@ class BaseSwapSystem:
 
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         raise NotImplementedError
+
+    def _submit_write_many(
+        self, app: AppContext, requests: List[RdmaRequest]
+    ) -> None:
+        """Doorbell hook: submit a batch of writes queued at one instant.
+
+        The egress twin of :meth:`_submit_read_many`, used by grouped
+        reclaim to flush each round's deferred writebacks with one NIC
+        kick.  The same atomic-section contract applies: all requests
+        must have been acquired with no intervening yields, and the
+        flush must happen before the caller's next yield so the kick
+        keeps its FIFO position in the engine's immediate lane.  Fault
+        verdicts stay per-request inside the NIC/scheduler, so grouped
+        submission cannot blur writeback-error handling.
+        """
+        for request in requests:
+            self._submit_write(app, request)
 
     # ------------------------------------------------------------------
     # Request pooling
@@ -1136,9 +1173,7 @@ class BaseSwapSystem:
         if self._inflight_req.get(page) is not request:
             # Rescued mid-flight: the failed write is moot, and the
             # logical writeback ends here.
-            self._outstanding_writebacks[app.name] = max(
-                0, self._outstanding_writebacks.get(app.name, 0) - 1
-            )
+            app.outstanding_writebacks = max(0, app.outstanding_writebacks - 1)
             return
         retries = request.kernel_retries + 1
         if retries > self.config.max_kernel_retries:
@@ -1253,22 +1288,20 @@ class BaseSwapSystem:
             issued += 1
             budget -= 1
             app.stats.prefetches_issued += 1
-            self._inflight_prefetch_count[app.name] = (
-                self._inflight_prefetch_count.get(app.name, 0) + 1
-            )
+            app.inflight_prefetches += 1
         if to_submit:
             self._submit_read_many(app, to_submit)
         self._shrink_cache_if_needed(app)
         return issued
 
     def _inflight_prefetches(self, app: AppContext) -> int:
-        return self._inflight_prefetch_count.get(app.name, 0)
+        return app.inflight_prefetches
 
     def _dec_inflight_prefetch(self, app_name: str) -> None:
         """One in-flight prefetch left the system (completed or dropped)."""
-        count = self._inflight_prefetch_count.get(app_name, 0)
-        if count > 0:
-            self._inflight_prefetch_count[app_name] = count - 1
+        app = self.apps.get(app_name)
+        if app is not None and app.inflight_prefetches > 0:
+            app.inflight_prefetches -= 1
 
     # ------------------------------------------------------------------
     # Reclaim
@@ -1285,7 +1318,7 @@ class BaseSwapSystem:
                 continue
             done = yield from self._evict_one(app, core_id, wait_writeback=True)
             if not done:
-                if self._outstanding_writebacks.get(app.name, 0) > 0:
+                if app.outstanding_writebacks > 0:
                     # Every frame is pinned by an in-flight writeback:
                     # congestion-wait for completions, then retry.
                     yield self.engine.sleep(20.0)
@@ -1340,9 +1373,7 @@ class BaseSwapSystem:
         self._inflight_req[victim] = request
         if tr is not None:
             tr.emit(WB_ISSUE, app.name, core_id, victim.vpn, request.request_id)
-        self._outstanding_writebacks[app.name] = (
-            self._outstanding_writebacks.get(app.name, 0) + 1
-        )
+        app.outstanding_writebacks += 1
         self._submit_write(app, request)
         app.stats.swapouts += 1
         self.telemetry.swapout_rate(app.name).record(self.engine.now)
@@ -1352,11 +1383,108 @@ class BaseSwapSystem:
             yield request.completion
         return True
 
+    def _evict_many(self, app: AppContext, core_id: int, n: int) -> Generator:
+        """Evict up to ``n`` LRU victims in grouped reclaim rounds.
+
+        The write-side twin of ``handle_fault_group``: one generator
+        drives kswapd's whole batch instead of one ``_evict_one``
+        sub-generator per page.  Each round drains victims from the LRU
+        in a single revalidated ``select_victims`` pass that *stops at
+        the first page needing a writeback* (:func:`_needs_writeback`).
+        Everything up to and including that page's lock happens at one
+        simulated instant with no yields, so selecting those victims up
+        front is invisible; the writeback member then yields in entry
+        allocation, and victims after it must be re-selected post-yield
+        exactly as the serial loop would — hence a new round.  Per round
+        at most one write request exists; its NIC submit is deferred
+        past the round's remaining pure host-side accounting and flushed
+        through :meth:`_submit_write_many` before the next round's
+        allocation yield, so the doorbell keeps its serial FIFO position
+        in the engine's immediate lane.  Digest-identical to ``n``
+        serial ``_evict_one`` calls (``grouped_reclaim=False`` keeps
+        that oracle); ``tests/test_grouped_reclaim.py`` pins the
+        equivalence per system and under fault injection.
+
+        Trace records for grouped rounds land on thread lane
+        ``RECLAIM_LANE`` so the ``reclaim-group-pairing`` lint can count
+        this group's EVICTs without catching concurrent direct-reclaim
+        evictions on thread 0.  Returns the number of pages evicted
+        (short only when the LRU runs dry — the serial loop's surplus
+        ``select_victim()`` calls are side-effect-free no-ops).
+        """
+        tr = self.trace
+        if tr is not None:
+            tr.emit(RECLAIM_GROUP_BEGIN, app.name, RECLAIM_LANE, 0, n)
+        evicted = 0
+        while evicted < n:
+            victims = app.lru.select_victims(n - evicted, stop=_needs_writeback)
+            if not victims:
+                break
+            to_submit: List[RdmaRequest] = []
+            for victim in victims:
+                victim.resident = False
+                victim.referenced = False
+                if tr is not None:
+                    tr.emit(
+                        EVICT,
+                        app.name,
+                        RECLAIM_LANE,
+                        victim.vpn,
+                        1 if victim.dirty else 0,
+                    )
+                self._on_evicted(app, victim)
+                cache = self._cache_for(app, victim)
+
+                if not victim.dirty and victim.swap_entry is not None:
+                    app.pool.uncharge(1)
+                    app.stats.clean_drops += 1
+                    if tr is not None:
+                        tr.emit(CLEAN_DROP, app.name, RECLAIM_LANE, victim.vpn)
+                    self.telemetry.swapout_rate(app.name).record(self.engine.now)
+                    evicted += 1
+                    continue
+
+                victim.locked = True
+                event = Event(
+                    self.engine,
+                    f"writeback.{app.name}.{victim.vpn:#x}"
+                    if DEBUG_EVENT_NAMES
+                    else "",
+                )
+                self._inflight[victim] = event
+                entry = yield from self._obtain_writeback_entry(
+                    app, victim, core_id
+                )
+                entry.stored_vpn = victim.vpn
+                victim.swap_entry = entry
+                victim.dirty = True  # data must travel
+                cache.insert(entry, victim, prefetched=False)
+                request = self._acquire_request(
+                    RdmaOp.WRITE, RequestKind.SWAPOUT, app.name, entry, victim
+                )
+                self._inflight_req[victim] = request
+                if tr is not None:
+                    tr.emit(
+                        WB_ISSUE,
+                        app.name,
+                        RECLAIM_LANE,
+                        victim.vpn,
+                        request.request_id,
+                    )
+                app.outstanding_writebacks += 1
+                to_submit.append(request)
+                app.stats.swapouts += 1
+                self.telemetry.swapout_rate(app.name).record(self.engine.now)
+                evicted += 1
+            if to_submit:
+                self._submit_write_many(app, to_submit)
+        if tr is not None:
+            tr.emit(RECLAIM_GROUP_END, app.name, RECLAIM_LANE, 0, evicted)
+        return evicted
+
     def _on_writeback_complete(self, app: AppContext, request: RdmaRequest) -> None:
         page = request.page
-        self._outstanding_writebacks[app.name] = max(
-            0, self._outstanding_writebacks.get(app.name, 0) - 1
-        )
+        app.outstanding_writebacks = max(0, app.outstanding_writebacks - 1)
         if self._inflight_req.get(page) is not request:
             return  # superseded: the page was rescued and re-evicted
         del self._inflight_req[page]
@@ -1385,22 +1513,27 @@ class BaseSwapSystem:
         path of §2, used by direct reclaim.
         """
         cache = self._private_cache(app)
-        if force_min <= 0 and len(cache._pages) <= cache.capacity_pages:
+        if force_min <= 0 and len(cache) <= cache.capacity_pages:
             return 0  # within budget and not forced: the common case
         target = max(cache.overflow, force_min)
         if target <= 0:
             return 0
-        freed = 0
-        for entry_id, page in cache.shrink_candidates(target * 2):
-            if freed >= target:
-                break
-            if page.dirty or page.locked:
-                continue
-            cache.release(entry_id)
-            owner = self.apps.get(page.owner_name, app)
-            owner.pool.uncharge(1)
-            freed += 1
-        return freed
+        # One candidate scan with a vectorized dirty filter, then a
+        # single batched release; the truncation to ``target`` matches
+        # the old per-page loop's early break, so the released set (and
+        # order) is identical.
+        releasable = cache.shrink_candidates(target * 2, clean_only=True)
+        releasable = releasable[:target]
+        if not releasable:
+            return 0
+        released = cache.release_many([entry_id for entry_id, _ in releasable])
+        uncharges: Dict[str, int] = {}
+        for page in released:
+            uncharges[page.owner_name] = uncharges.get(page.owner_name, 0) + 1
+        for owner_name, count in uncharges.items():
+            owner = self.apps.get(owner_name, app)
+            owner.pool.uncharge(count)
+        return len(released)
 
     def _private_cache(self, app: AppContext) -> SwapCache:
         """The swap cache holding this app's private pages."""
@@ -1428,7 +1561,7 @@ class BaseSwapSystem:
             # priority under pressure) but keep it small enough that the
             # eviction window stays short, and cap outstanding writebacks
             # so a congested write path cannot pin every frame.
-            outstanding = self._outstanding_writebacks.get(app.name, 0)
+            outstanding = app.outstanding_writebacks
             writeback_cap = max(8, app.pool.capacity_pages // 8)
             if outstanding >= writeback_cap:
                 yield self.engine.sleep(10.0)
@@ -1440,8 +1573,14 @@ class BaseSwapSystem:
             # kswapd is one kernel thread: it evicts its batch serially
             # (each writeback is issued asynchronously, so the wire still
             # pipelines); only faulting threads add allocation concurrency.
-            for _ in range(batch):
-                yield from self._evict_one(app, 0, wait_writeback=False)
+            # Grouped reclaim drives the batch through one generator with
+            # batched selection and doorbell-deferred egress — the serial
+            # loop below is the digest oracle it is pinned against.
+            if self.config.grouped_reclaim and app.lru.flat:
+                yield from self._evict_many(app, 0, batch)
+            else:
+                for _ in range(batch):
+                    yield from self._evict_one(app, 0, wait_writeback=False)
             # Writebacks issued; give completions a chance to land before
             # the next round so the target reflects reality.
             yield self.engine.sleep(8.0)
@@ -1503,3 +1642,8 @@ class LinuxSwapSystem(BaseSwapSystem):
 
     def _submit_write(self, app: AppContext, request: RdmaRequest) -> None:
         self.nic.submit(self.write_qp, request)
+
+    def _submit_write_many(
+        self, app: AppContext, requests: List[RdmaRequest]
+    ) -> None:
+        self.nic.submit_many(self.write_qp, requests)

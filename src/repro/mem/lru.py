@@ -9,7 +9,7 @@ scans the *head* of the active list, so :class:`LRUList` exposes that scan.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -179,6 +179,29 @@ class ActiveInactiveLRU:
         self.balance()
         page = self.inactive.pop_tail()
         return page
+
+    def select_victims(
+        self, n: int, stop: Optional[Callable[[Page], bool]] = None
+    ) -> List[Page]:
+        """Pop up to ``n`` victims at one simulated instant.
+
+        Identical to ``n`` back-to-back :meth:`select_victim` calls with
+        no intervening LRU mutations.  When ``stop`` is given the batch
+        ends with the first victim for which ``stop(page)`` is true (that
+        victim is included) — the grouped reclaim path uses it to cut the
+        batch at the first member whose processing passes simulated time,
+        so every pop happens at the instant the serial oracle would have
+        made it.
+        """
+        victims: List[Page] = []
+        while len(victims) < n:
+            page = self.select_victim()
+            if page is None:
+                break
+            victims.append(page)
+            if stop is not None and stop(page):
+                break
+        return victims
 
 
 # -- flat generation-stamp LRU --------------------------------------------
@@ -771,3 +794,148 @@ class GenerationLRU:
         where[vpn] = LRU_NONE
         self._n_inactive -= 1
         return pages[vpn]
+
+    def _drain_segment_multi(
+        self, need: int, out: List[Page], stop: Optional[Callable[[Page], bool]]
+    ) -> bool:
+        """Pop up to ``need`` victims off the array segment in one pass.
+
+        Multi-victim twin of :meth:`_drain_segment`: one gather
+        revalidates the whole remainder, one referenced gather classifies
+        the live candidates, and every consumed referenced candidate
+        batch-rotates with consecutive stamps in queue order — exactly
+        the stamps ``need`` sequential :meth:`select_victim` calls would
+        assign, because victims take no stamps and rotations are stamped
+        in encounter order either way.  Candidates beyond the last
+        consumed victim are left untouched (their rotations have not
+        happened yet in the serial order).  Returns True when ``stop``
+        ended the batch.  Only sound at a single simulated instant: the
+        caller must not yield between pops (LRU state frozen), which is
+        what the ``stop`` predicate guarantees for the reclaim path.
+        """
+        pos = self._vq_pos
+        vq_vpns = self._vq_vpns
+        n = len(vq_vpns)
+        if pos >= n or need <= 0:
+            return False
+        space = self.space
+        if (
+            n - pos <= self.DRAIN_GATHER_MIN
+            or space.has_foreign_pages
+            or self._gen + (n - pos) > self.epoch_limit
+        ):
+            # Same fallbacks as the single-victim drain; the per-entry
+            # loop is already exact, so just take victims one at a time.
+            while need > 0:
+                page = self._drain_segment_scalar()
+                if page is None:
+                    return False
+                out.append(page)
+                need -= 1
+                if stop is not None and stop(page):
+                    return True
+            return False
+        where = space.lru_where
+        stamp_arr = space.lru_stamp
+        vpns = vq_vpns[pos:]
+        live = np.flatnonzero(
+            (where[vpns] == LRU_INACTIVE) & (stamp_arr[vpns] == self._vq_stamps[pos:])
+        )
+        if not len(live):  # every entry promoted/removed/rotated away
+            self._vq_pos = n
+            return False
+        referenced = space.referenced_bits[vpns[live]]
+        unref = np.flatnonzero(~referenced)
+        if not len(unref):
+            # All live candidates are referenced: rotate them all and
+            # report the segment drained (the rotations re-queue them).
+            rotated = vpns[live]
+            space.referenced_bits[rotated] = False
+            start = self._take_stamps(len(rotated))
+            stamp_arr[rotated] = np.arange(
+                start, start + len(rotated), dtype=np.int64
+            )
+            self._vq_tail_stamps.extend(range(start, start + len(rotated)))
+            self._vq_tail_vpns.extend(rotated.tolist())
+            self._vq_pos = n
+            return False
+        pages = space.pages
+        # Walk the evictable candidates in queue order, applying the stop
+        # predicate exactly where the serial selector would.  Rotations
+        # do not change dirty bits or swap entries and earlier pops never
+        # alter later candidates' predicate inputs, so evaluating the
+        # predicate before the batched scatters below is order-exact.
+        take = 0
+        stopped = False
+        last_u = int(unref[0])
+        for u in unref.tolist():
+            page = pages[int(vpns[live[u]])]
+            out.append(page)
+            take += 1
+            last_u = u
+            if stop is not None and stop(page):
+                stopped = True
+                break
+            if take >= need:
+                break
+        consumed = live[: last_u + 1]
+        rot_mask = np.ones(last_u + 1, dtype=bool)
+        rot_mask[unref[:take]] = False
+        rotated = vpns[consumed[rot_mask]]
+        if len(rotated):
+            space.referenced_bits[rotated] = False
+            start = self._take_stamps(len(rotated))
+            stamp_arr[rotated] = np.arange(
+                start, start + len(rotated), dtype=np.int64
+            )
+            self._vq_tail_stamps.extend(range(start, start + len(rotated)))
+            self._vq_tail_vpns.extend(rotated.tolist())
+        where[vpns[live[unref[:take]]]] = LRU_NONE
+        self._n_inactive -= take
+        self._vq_pos = pos + int(live[last_u]) + 1
+        return stopped
+
+    def select_victims(
+        self, n: int, stop: Optional[Callable[[Page], bool]] = None
+    ) -> List[Page]:
+        """Pop up to ``n`` victims in one revalidated pass.
+
+        Identical to ``n`` back-to-back :meth:`select_victim` calls made
+        with no intervening LRU mutations: the queue remainder is
+        revalidated with one gather instead of one per pop, consumed
+        referenced candidates batch-rotate with the stamps the serial
+        loop would have assigned, and the scan fallbacks (incomplete
+        queue, renormalized epoch, empty inactive set) delegate to the
+        serial selector member by member.  When ``stop`` is given the
+        batch ends with the first victim for which ``stop(page)`` is
+        true (included) — the grouped reclaim path cuts the batch at the
+        first member whose processing passes simulated time, keeping
+        every later pop at the instant the serial oracle would make it.
+        """
+        victims: List[Page] = []
+        if n <= 0:
+            return victims
+        if not self._vq_complete:
+            self._vq_complete = True
+            self._refill_victim_queue()
+        while len(victims) < n:
+            before = len(victims)
+            if self._drain_segment_multi(n - before, victims, stop):
+                return victims
+            if len(victims) > before:
+                continue
+            if self._vq_pos >= len(self._vq_vpns) and self._vq_tail_vpns:
+                self._vq_promote_tail()
+                continue
+            break
+        # Queue exhausted (or invalidated by a mid-drain epoch
+        # renormalization): the serial selector per member replays the
+        # oracle's direct-scan and balance fallbacks exactly.
+        while len(victims) < n:
+            page = self.select_victim()
+            if page is None:
+                break
+            victims.append(page)
+            if stop is not None and stop(page):
+                break
+        return victims

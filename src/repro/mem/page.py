@@ -213,6 +213,15 @@ class Page:
             space._resident_count += 1
 
     @property
+    def flag_space(self):
+        """The address space whose flat arrays home this page's flag bits
+        (None for a free-standing page).  Lets batch consumers (the swap
+        cache's vectorized shrink scan) gather ``dirty_bits`` for a run
+        of same-home pages in one numpy op instead of one property call
+        per page."""
+        return self._flags
+
+    @property
     def shared(self) -> bool:
         """Shared pages (mapcount > 1) must use the global swap path (§4)."""
         return self.mapcount > 1

@@ -27,6 +27,12 @@ Rules (names are the ``Violation.rule`` values):
   alternate, every member fault completes inside an open group exactly
   once (the end record's member count matches the fault ends observed),
   and no group is left open at end of trace.
+* ``reclaim-group-pairing`` — per (app, lane), reclaim-group begin/end
+  records alternate, the end record's evicted count matches the EVICT
+  records observed inside the group and never exceeds the planned batch,
+  and no group is left open at end of trace.  Grouped reclaim emits on
+  the sentinel ``RECLAIM_LANE``, so concurrent direct-reclaim evictions
+  (real thread lanes) never pollute the count.
 
 On a truncated trace (the ring wrapped), missing-*predecessor* findings
 are suppressed — the predecessor may simply have been overwritten — but
@@ -44,6 +50,7 @@ from repro.obs.trace import (
     BATCH_EXIT,
     ENTRY_ALLOC,
     ENTRY_FREE,
+    EVICT,
     FAULT_BEGIN,
     FAULT_END,
     FAULT_GROUP_BEGIN,
@@ -51,6 +58,8 @@ from repro.obs.trace import (
     FAULT_PARK,
     FAULT_WAKE,
     QP_COMPLETE,
+    RECLAIM_GROUP_BEGIN,
+    RECLAIM_GROUP_END,
     QP_ENQ,
     QP_ERROR_CQE,
     QP_SERVE,
@@ -74,6 +83,7 @@ RULES = [
     "fault-nesting",
     "batch-pairing",
     "group-pairing",
+    "reclaim-group-pairing",
 ]
 
 
@@ -117,6 +127,8 @@ def check_trace(
     batch_open: Dict[str, Tuple[int, int, float]] = {}
     # open fault groups: (app, thread) -> [first_vpn, fault_ends_seen, t].
     group_open: Dict[Tuple[str, int], List] = {}
+    # open reclaim groups: (app, lane) -> [planned, evicts_seen, t].
+    reclaim_open: Dict[Tuple[str, int], List] = {}
 
     for t, kind, app, thread, key, arg in records:
         if kind == QP_ENQ:
@@ -306,6 +318,59 @@ def check_trace(
                         f"{open_group[1]} fault end(s) occurred inside it",
                     )
                 )
+        elif kind == EVICT:
+            open_reclaim = reclaim_open.get((app, thread))
+            if open_reclaim is not None:
+                open_reclaim[1] += 1
+        elif kind == RECLAIM_GROUP_BEGIN:
+            open_reclaim = reclaim_open.get((app, thread))
+            if open_reclaim is not None:
+                violations.append(
+                    Violation(
+                        "reclaim-group-pairing",
+                        t,
+                        app,
+                        f"lane {thread} began a reclaim group of {arg} while "
+                        f"a group of {open_reclaim[0]} is still open",
+                    )
+                )
+            reclaim_open[(app, thread)] = [arg, 0, t]
+        elif kind == RECLAIM_GROUP_END:
+            open_reclaim = reclaim_open.pop((app, thread), None)
+            if open_reclaim is None:
+                if not truncated:
+                    violations.append(
+                        Violation(
+                            "reclaim-group-pairing",
+                            t,
+                            app,
+                            f"lane {thread} ended a reclaim group of {arg} "
+                            f"that never began",
+                        )
+                    )
+            else:
+                if open_reclaim[1] != arg:
+                    violations.append(
+                        Violation(
+                            "reclaim-group-pairing",
+                            t,
+                            app,
+                            f"lane {thread}'s reclaim group reported {arg} "
+                            f"eviction(s) but {open_reclaim[1]} EVICT "
+                            f"record(s) occurred inside it",
+                        )
+                    )
+                if arg > open_reclaim[0]:
+                    violations.append(
+                        Violation(
+                            "reclaim-group-pairing",
+                            t,
+                            app,
+                            f"lane {thread}'s reclaim group evicted {arg} "
+                            f"page(s), more than the {open_reclaim[0]} "
+                            f"planned",
+                        )
+                    )
         elif kind == BATCH_ENTER:
             open_batch = batch_open.get(app)
             if open_batch is not None:
@@ -388,6 +453,15 @@ def check_trace(
                 t,
                 app,
                 f"thread {thread}'s fault group at vpn {vpn:#x} never ended",
+            )
+        )
+    for (app, thread), (planned, _evicts, t) in reclaim_open.items():
+        violations.append(
+            Violation(
+                "reclaim-group-pairing",
+                t,
+                app,
+                f"lane {thread}'s reclaim group of {planned} never ended",
             )
         )
     return violations

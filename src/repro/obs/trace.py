@@ -92,6 +92,17 @@ LRU_EPOCH = 33  # generation-stamp epoch renormalized; key = pages, arg = old ge
 FAULT_GROUP_BEGIN = 34  # group admitted; arg: planned run length
 FAULT_GROUP_END = 35  # group done; arg: members actually faulted
 
+# Grouped reclaim (kernel/swap_system.py _evict_many); key unused (0).
+RECLAIM_GROUP_BEGIN = 36  # batch started; arg: planned batch size
+RECLAIM_GROUP_END = 37  # batch done; arg: pages actually evicted
+
+#: Thread lane for grouped-reclaim trace records.  kswapd shares core 0
+#: with direct-reclaiming fault threads, so its grouped rounds emit on
+#: this sentinel lane instead — the reclaim-group-pairing lint can then
+#: count a group's EVICTs without catching concurrent direct-reclaim
+#: evictions interleaved at the same instants.
+RECLAIM_LANE = -1
+
 KIND_NAMES = {
     FAULT_BEGIN: "fault_begin",
     FAULT_END: "fault_end",
@@ -129,6 +140,8 @@ KIND_NAMES = {
     LRU_EPOCH: "lru_epoch",
     FAULT_GROUP_BEGIN: "fault_group_begin",
     FAULT_GROUP_END: "fault_group_end",
+    RECLAIM_GROUP_BEGIN: "reclaim_group_begin",
+    RECLAIM_GROUP_END: "reclaim_group_end",
 }
 
 
@@ -235,6 +248,8 @@ _INSTANT_KINDS = {
     LRU_EPOCH,
     FAULT_GROUP_BEGIN,
     FAULT_GROUP_END,
+    RECLAIM_GROUP_BEGIN,
+    RECLAIM_GROUP_END,
 }
 
 
@@ -404,6 +419,7 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
                 "batch_runs": 0,
                 "lru_epochs": 0,
                 "fault_groups": 0,
+                "reclaim_groups": 0,
             }
         return entry
 
@@ -427,6 +443,7 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
         BATCH_EXIT: "batch_runs",
         LRU_EPOCH: "lru_epochs",
         FAULT_GROUP_BEGIN: "fault_groups",
+        RECLAIM_GROUP_BEGIN: "reclaim_groups",
     }
 
     for t, kind, app, thread, key, arg in records:

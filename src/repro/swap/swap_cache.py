@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.mem.page import Page
 from repro.swap.entry import SwapEntry
 
@@ -123,12 +125,20 @@ class SwapCache:
             self.stats.removals += 1
         return page
 
-    def shrink_candidates(self, n_pages: int) -> List[Tuple[int, Page]]:
+    def shrink_candidates(
+        self, n_pages: int, clean_only: bool = False
+    ) -> List[Tuple[int, Page]]:
         """Pick up to ``n_pages`` LRU, unlocked pages for release.
 
         Locked pages (swap I/O in flight) are skipped, as the kernel does.
-        The caller decides what to do with dirty pages (write-back) versus
-        clean ones (drop).  Pages are *not* removed here.
+        With ``clean_only`` the dirty pages among those ``n_pages``
+        candidates are filtered out too — the filter runs *after* the
+        count cut, so the surviving set is exactly the pages a caller
+        walking the unfiltered list and skipping dirty ones would have
+        released.  When every candidate's flag bits live in one address
+        space's flat arrays, the dirty filter is a single vectorized
+        gather instead of one property read per page.  Pages are *not*
+        removed here; pair with :meth:`release_many`.
         """
         candidates: List[Tuple[int, Page]] = []
         for entry_id, page in self._pages.items():
@@ -137,7 +147,34 @@ class SwapCache:
             if page.locked:
                 continue
             candidates.append((entry_id, page))
-        return candidates
+        if not clean_only or not candidates:
+            return candidates
+        home = candidates[0][1].flag_space
+        if home is not None and all(
+            page.flag_space is home for _, page in candidates
+        ):
+            vpns = np.fromiter(
+                (page.vpn for _, page in candidates),
+                dtype=np.int64,
+                count=len(candidates),
+            )
+            clean = ~home.dirty_bits[vpns]
+            return [c for c, ok in zip(candidates, clean.tolist()) if ok]
+        return [c for c in candidates if not c[1].dirty]
+
+    def release_many(self, entry_ids: List[int]) -> List[Page]:
+        """Batch :meth:`release`: one pass, identical per-page accounting."""
+        pages = self._pages
+        stats = self.stats
+        released: List[Page] = []
+        for entry_id in entry_ids:
+            page = pages.pop(entry_id)
+            page.in_swap_cache = False
+            stats.shrink_evictions += 1
+            if page.prefetched:
+                stats.evicted_unused_prefetches += 1
+            released.append(page)
+        return released
 
     def release(self, entry_id: int) -> Page:
         """Drop a page during a shrink pass (accounting differs from remove)."""

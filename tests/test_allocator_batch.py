@@ -1,0 +1,175 @@
+"""Seeded A/B property suite: ``allocate_many`` vs the serial oracle.
+
+``EntryAllocator.allocate_many(n, core_id)`` is one generator entry for
+a whole batch of allocations.  Its contract — on every policy — is that
+it is a *pure call-count optimization*: the same entries come back in
+the same order, each entry's simulated scan/lock interval is identical
+(captured by spying on ``AllocatorStats.record``), the aggregate
+statistics match field-for-field, and the simulated clock ends at the
+same instant.  These tests pin that contract by running twin engines,
+one driving the serial ``allocate`` loop and one driving
+``allocate_many``, with identical contender processes hammering the
+same locks on both sides.
+"""
+
+import dataclasses
+import random
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine
+from repro.swap import (
+    BatchAllocator,
+    FreeListAllocator,
+    Linux514Allocator,
+    PerCoreClusterAllocator,
+    SwapPartition,
+)
+
+POLICIES = {
+    "freelist": lambda eng, part: FreeListAllocator(eng, part),
+    "cluster": lambda eng, part: PerCoreClusterAllocator(
+        eng, part, cluster_entries=64, rng=np.random.default_rng(7)
+    ),
+    "batch": lambda eng, part: BatchAllocator(eng, part, batch_size=8),
+    "linux514": lambda eng, part: Linux514Allocator(
+        eng, part, cluster_entries=64, batch_size=8, rng=np.random.default_rng(7)
+    ),
+}
+
+
+def _spy_records(alloc):
+    """Capture every (start_us, end_us) passed to stats.record."""
+    records = []
+    original = alloc.stats.record
+
+    def spy(start_us, end_us):
+        records.append((start_us, end_us))
+        original(start_us, end_us)
+
+    alloc.stats.record = spy
+    return records
+
+
+def _contender(engine, alloc, core_id, n, taken):
+    """A concurrent allocator user contending on the same locks."""
+    yield engine.sleep(0.3 * core_id)
+    for _ in range(n):
+        entry = yield from alloc.allocate(core_id)
+        taken.append(entry.entry_id)
+        yield engine.sleep(1.1)
+
+
+def _run_side(policy, mode, n, contenders=3, contender_allocs=4, partition_pages=1024):
+    """One engine run; returns (entry_ids, per-alloc records, stats, end_now)."""
+    engine = Engine()
+    part = SwapPartition("p", partition_pages)
+    alloc = POLICIES[policy](engine, part)
+    records = _spy_records(alloc)
+    got = []
+    contender_ids = []
+
+    def main():
+        if mode == "serial":
+            for _ in range(n):
+                entry = yield from alloc.allocate(core_id=0)
+                got.append(entry.entry_id)
+        else:
+            entries = yield from alloc.allocate_many(n, core_id=0)
+            got.extend(e.entry_id for e in entries)
+
+    engine.spawn(main())
+    for core in range(1, contenders + 1):
+        engine.spawn(
+            _contender(engine, alloc, core, contender_allocs, contender_ids)
+        )
+    engine.run()
+    return got, records, dataclasses.asdict(alloc.stats), engine.now, contender_ids
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_allocate_many_matches_serial_oracle(policy):
+    """Same entries, same order, same per-allocation intervals, same
+    aggregate stats, same final clock — under lock contention."""
+    n = 24
+    serial = _run_side(policy, "serial", n)
+    batched = _run_side(policy, "many", n)
+    # (a) identical entry sequences for the batch caller...
+    assert batched[0] == serial[0]
+    # ...and for the bystanders (the batch perturbed nobody).
+    assert batched[4] == serial[4]
+    # (b) every allocation's simulated (start, end) interval is identical.
+    assert batched[1] == serial[1]
+    # (c) aggregate statistics agree field-for-field.
+    assert batched[2] == serial[2]
+    # (d) the runs end at the same simulated instant.
+    assert batched[3] == serial[3]
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_allocate_many_parity_on_random_shapes(policy, seed):
+    """Property sweep: random batch sizes and contention levels."""
+    rng = random.Random(seed * 101 + hash(policy) % 1000)
+    n = rng.randint(1, 40)
+    contenders = rng.randint(0, 5)
+    contender_allocs = rng.randint(1, 6)
+    serial = _run_side(policy, "serial", n, contenders, contender_allocs)
+    batched = _run_side(policy, "many", n, contenders, contender_allocs)
+    assert batched == serial
+
+
+@pytest.mark.parametrize("policy", sorted(POLICIES))
+def test_allocate_many_zero_is_a_noop(policy):
+    engine = Engine()
+    part = SwapPartition("p", 64)
+    alloc = POLICIES[policy](engine, part)
+
+    out = []
+
+    def main():
+        entries = yield from alloc.allocate_many(0)
+        out.append(entries)
+
+    engine.spawn(main())
+    engine.run()
+    assert out == [[]]
+    assert alloc.stats.allocations == 0
+    assert engine.now == 0.0
+
+
+def test_allocate_many_exhaustion_raises_mid_batch_like_serial():
+    """Partition exhaustion surfaces at the same member index."""
+
+    def run(mode):
+        engine = Engine()
+        part = SwapPartition("p", 4)
+        alloc = FreeListAllocator(engine, part)
+        got = []
+        err = []
+
+        def main():
+            try:
+                if mode == "serial":
+                    for _ in range(6):
+                        entry = yield from alloc.allocate(0)
+                        got.append(entry.entry_id)
+                else:
+                    entries = yield from alloc.allocate_many(6, 0)
+                    got.extend(e.entry_id for e in entries)
+            except RuntimeError as exc:
+                err.append(str(exc))
+
+        engine.spawn(main())
+        engine.run()
+        return got, err, alloc.stats.allocations
+
+    serial_got, serial_err, serial_allocs = run("serial")
+    many_got, many_err, many_allocs = run("many")
+    assert serial_err and many_err == serial_err
+    assert serial_allocs == many_allocs == 4
+    # The serial loop observed the first four entries; the batch raises
+    # before returning, so its caller sees none — but the allocator's own
+    # ledger (above) proves the same four members succeeded first.
+    assert len(serial_got) == 4 and many_got == []

@@ -333,7 +333,7 @@ def test_writeback_error_is_reissued():
     # logical writeback stayed outstanding until the reissue landed.
     assert app.stats.error_cqes == 1
     assert app.stats.writeback_retries == 1
-    assert all(n == 0 for n in system._outstanding_writebacks.values())
+    assert all(a.outstanding_writebacks == 0 for a in system.apps.values())
     assert system._inflight == {}
     assert system._inflight_req == {}
 
@@ -380,7 +380,7 @@ def test_chaos_corun_completes_without_leaks():
     # Nothing in flight, nothing parked, nothing half-recycled.
     assert system._inflight == {}
     assert system._inflight_req == {}
-    assert all(n == 0 for n in system._outstanding_writebacks.values())
+    assert all(a.outstanding_writebacks == 0 for a in system.apps.values())
     for request in system._request_pool:
         assert request._in_pool
         assert request.entry is None and request.page is None
@@ -457,7 +457,7 @@ def test_grouped_admission_survives_every_fault_scenario(scenario):
     system = grouped.system
     assert system._inflight == {}
     assert system._inflight_req == {}
-    assert all(n == 0 for n in system._outstanding_writebacks.values())
+    assert all(a.outstanding_writebacks == 0 for a in system.apps.values())
     for request in system._request_pool:
         assert request._in_pool
         assert request.entry is None and request.page is None

@@ -403,3 +403,103 @@ def test_generation_lru_victim_queue_revalidates_stale_entries():
     lru.note_access(pages[1])  # promote the queue front out from under it
     victim = lru.select_victim()
     assert victim is pages[2]
+
+
+# -- grouped victim selection (PR 8) --------------------------------------
+
+
+def _twin_generation_lrus(n_pages, seed):
+    """Two identically-populated GenerationLRUs with random bit state."""
+    rng = random.Random(seed)
+    twins = []
+    for tag in ("a", "b"):
+        space = AddressSpace(tag)
+        vma = space.map_region(n_pages)
+        lru = GenerationLRU(space, name=tag)
+        vpns = list(vma.vpns())
+        state = random.Random(seed)  # same rolls on both twins
+        for vpn in vpns:
+            lru.insert(space.pages[vpn])
+        for vpn in vpns:
+            if state.random() < 0.3:
+                lru.note_access(space.pages[vpn])
+            if state.random() < 0.35:
+                space.pages[vpn].referenced = True
+            if state.random() < 0.25:
+                space.pages[vpn].dirty = True
+        lru.balance(0.5)
+        twins.append((space, lru))
+    del rng
+    return twins
+
+
+def _serial_select(lru, n, stop=None):
+    victims = []
+    while len(victims) < n:
+        page = lru.select_victim()
+        if page is None:
+            break
+        victims.append(page)
+        if stop is not None and stop(page):
+            break
+    return victims
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+@pytest.mark.parametrize("n", [1, 3, 7, 48])
+def test_select_victims_matches_serial_loop(seed, n):
+    """One batched pass returns the victims a select_victim loop would,
+    and leaves identical flat-array state behind."""
+    (space_a, lru_a), (space_b, lru_b) = _twin_generation_lrus(32, seed)
+    batched = lru_a.select_victims(n)
+    serial = _serial_select(lru_b, n)
+    assert [p.vpn for p in batched] == [p.vpn for p in serial]
+    assert np.array_equal(space_a.lru_where, space_b.lru_where)
+    assert np.array_equal(space_a.lru_stamp, space_b.lru_stamp)
+    assert np.array_equal(space_a.referenced_bits, space_b.referenced_bits)
+    assert lru_a._gen == lru_b._gen
+    assert len(lru_a) == len(lru_b)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_select_victims_stop_predicate_cuts_batch_like_serial(seed):
+    """The reclaim batch-cut: selection stops after the first victim the
+    predicate flags (dirty here), exactly like the serial loop."""
+    stop = lambda page: page.dirty  # noqa: E731
+    (space_a, lru_a), (space_b, lru_b) = _twin_generation_lrus(32, seed)
+    batched = lru_a.select_victims(16, stop=stop)
+    serial = _serial_select(lru_b, 16, stop=stop)
+    assert [p.vpn for p in batched] == [p.vpn for p in serial]
+    if batched and any(p.dirty for p in batched):
+        assert batched[-1].dirty  # the cut victim ends the batch
+        assert not any(p.dirty for p in batched[:-1])
+    assert np.array_equal(space_a.lru_where, space_b.lru_where)
+    assert np.array_equal(space_a.lru_stamp, space_b.lru_stamp)
+
+
+def test_select_victims_drains_to_empty_and_stops():
+    space = AddressSpace("drain")
+    vma = space.map_region(12)
+    lru = GenerationLRU(space)
+    for vpn in vma.vpns():
+        lru.insert(space.pages[vpn])
+    victims = lru.select_victims(50)
+    assert len(victims) == 12
+    assert len(lru) == 0
+    assert lru.select_victims(4) == []
+    assert lru.select_victims(0) == []
+
+
+def test_active_inactive_select_victims_matches_serial():
+    """The linked-list baseline's select_victims is the serial loop."""
+    lru_a, lru_b = ActiveInactiveLRU(), ActiveInactiveLRU()
+    pages_a, pages_b = make_pages(10), make_pages(10)
+    for a, b in zip(pages_a, pages_b):
+        lru_a.insert(a)
+        lru_b.insert(b)
+    pages_a[4].dirty = pages_b[4].dirty = True
+    stop = lambda page: page.dirty  # noqa: E731
+    batched = lru_a.select_victims(8, stop=stop)
+    serial = _serial_select(lru_b, 8, stop=stop)
+    assert [p.vpn for p in batched] == [p.vpn for p in serial]
+    assert batched[-1].vpn == 4

@@ -161,6 +161,8 @@ def test_every_kind_has_a_name():
         if name.isupper()
         and not name.startswith("_")
         and isinstance(getattr(trace_mod, name), int)
+        # Negative constants are lane sentinels (RECLAIM_LANE), not kinds.
+        and getattr(trace_mod, name) >= 0
     ]
     for kind in kinds:
         assert kind in KIND_NAMES
@@ -290,6 +292,7 @@ def test_rule_catalogue_is_complete(traced_run):
         "fault-nesting",
         "batch-pairing",
         "group-pairing",
+        "reclaim-group-pairing",
     }
 
 
@@ -453,3 +456,87 @@ def test_untraced_flat_lru_has_no_tracer_attached():
     assert result.trace is None
     for app in result.apps.values():
         assert app.lru.tracer is None
+
+
+# -- grouped-reclaim tracepoints (PR 8) ----------------------------------------
+
+
+def test_grouped_reclaim_tracepoints_pair_and_count(traced_run):
+    """kswapd's grouped rounds leave paired begin/end records on the
+    sentinel reclaim lane, the summary counts them, and the pairing
+    lint is clean on a real trace."""
+    from repro.obs.trace import (
+        RECLAIM_GROUP_BEGIN,
+        RECLAIM_GROUP_END,
+        RECLAIM_LANE,
+    )
+
+    records = traced_run.trace.records()
+    begins = [r for r in records if r[1] == RECLAIM_GROUP_BEGIN]
+    ends = [r for r in records if r[1] == RECLAIM_GROUP_END]
+    assert begins, "traced run produced no grouped reclaim"
+    assert len(begins) == len(ends)
+    assert all(r[3] == RECLAIM_LANE for r in begins + ends)
+    # Each group evicted no more than it planned.
+    assert all(e[5] <= b[5] for b, e in zip(begins, ends))
+    summary = summarize_trace(records)
+    assert summary["memcached"]["reclaim_groups"] == len(
+        [r for r in begins if r[2] == "memcached"]
+    )
+    assert "reclaim-group-pairing" not in _rules_of(
+        check_trace(records, truncated=traced_run.trace.truncated)
+    )
+
+
+def test_checker_flags_unended_reclaim_group(traced_run):
+    from repro.obs.trace import RECLAIM_GROUP_BEGIN, RECLAIM_LANE
+
+    records = list(traced_run.trace.records())
+    records.append(
+        (records[-1][0] + 1.0, RECLAIM_GROUP_BEGIN, "memcached", RECLAIM_LANE, 0, 4)
+    )
+    violations = check_trace(records)
+    assert "reclaim-group-pairing" in _rules_of(violations)
+    # End-of-trace violations fire even on truncated traces.
+    assert "reclaim-group-pairing" in _rules_of(check_trace(records, truncated=True))
+
+
+def test_checker_flags_reclaim_group_eviction_miscount(traced_run):
+    from repro.obs.trace import (
+        EVICT,
+        RECLAIM_GROUP_BEGIN,
+        RECLAIM_GROUP_END,
+        RECLAIM_LANE,
+    )
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    # A group claiming 2 evictions while only 1 EVICT landed inside it.
+    records.append((t + 1.0, RECLAIM_GROUP_BEGIN, "memcached", RECLAIM_LANE, 0, 4))
+    records.append((t + 2.0, EVICT, "memcached", RECLAIM_LANE, 0x42, 0))
+    records.append((t + 3.0, RECLAIM_GROUP_END, "memcached", RECLAIM_LANE, 0, 2))
+    violations = check_trace(records)
+    assert "reclaim-group-pairing" in _rules_of(violations)
+    # Direct-reclaim EVICTs on a real thread lane don't pollute the count.
+    fixed = records[:-1]
+    fixed.append((t + 2.5, EVICT, "memcached", 0, 0x43, 0))
+    fixed.append((t + 3.0, RECLAIM_GROUP_END, "memcached", RECLAIM_LANE, 0, 1))
+    assert "reclaim-group-pairing" not in _rules_of(check_trace(fixed))
+
+
+def test_checker_flags_reclaim_group_overrun(traced_run):
+    from repro.obs.trace import (
+        EVICT,
+        RECLAIM_GROUP_BEGIN,
+        RECLAIM_GROUP_END,
+        RECLAIM_LANE,
+    )
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    records.append((t + 1.0, RECLAIM_GROUP_BEGIN, "memcached", RECLAIM_LANE, 0, 1))
+    records.append((t + 2.0, EVICT, "memcached", RECLAIM_LANE, 0x42, 0))
+    records.append((t + 3.0, EVICT, "memcached", RECLAIM_LANE, 0x43, 0))
+    records.append((t + 4.0, RECLAIM_GROUP_END, "memcached", RECLAIM_LANE, 0, 2))
+    violations = check_trace(records)
+    assert "reclaim-group-pairing" in _rules_of(violations)

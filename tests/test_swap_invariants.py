@@ -224,7 +224,7 @@ def test_system_end_state_reconciles(faulted):
     assert 0 <= pool.used <= pool.capacity_pages
     assert system._inflight == {}
     assert system._inflight_req == {}
-    assert all(n == 0 for n in system._outstanding_writebacks.values())
+    assert all(a.outstanding_writebacks == 0 for a in system.apps.values())
     if faulted:
         stats = machine.nic.stats
         assert (
