@@ -72,6 +72,26 @@ def load_results(paths: list[str]) -> dict[str, dict[str, float]]:
 
 def update_baseline(results: dict[str, dict[str, float]]) -> None:
     baseline = json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+    # Orphan detection: a baseline entry whose benchmark (or metric)
+    # no longer appears in the provided outputs keeps its stale value
+    # silently — and ``check`` would then FAIL it as "missing from
+    # benchmark output" on the next CI run.  Warn loudly so a renamed
+    # or deleted benchmark gets its baseline entry cleaned up (or the
+    # missing JSON gets passed) instead of rotting.
+    for name, entries in baseline.items():
+        if name not in results:
+            print(
+                f"  WARNING: baseline benchmark {name!r} absent from the "
+                f"provided outputs; its entry was kept unchanged (delete "
+                f"it from {BASELINE_PATH.name} if the benchmark is gone)"
+            )
+            continue
+        for metric in entries:
+            if metric not in results[name]:
+                print(
+                    f"  WARNING: baseline metric {name}.{metric} absent "
+                    f"from the provided outputs; kept unchanged"
+                )
     for name, metrics in results.items():
         entries = baseline.setdefault(name, {})
         # Refresh values of metrics already guarded, keeping tolerances.

@@ -1,0 +1,111 @@
+"""Rack-scale sweep: multi-server fabric scaling and re-homing (PR 9).
+
+Not a paper figure — the fig13-style scalability macro-benchmark for the
+rack substrate.  A Canvas co-run is swept across ``n_servers`` in
+{1, 2, 4, 8} with striped placement; every point must complete with the
+rack's charge ledger reconciled, and the 1-server point must be
+bit-identical to the rack-free run (the ``n_servers=1`` oracle, also
+pinned per-system in ``tests/test_faults.py``).
+
+Guarded numbers:
+
+* ``rack_events_per_second`` — engine callbacks per wall second at the
+  8-server point (host cost of the per-server channel bookkeeping);
+* ``rehome_pages_per_second`` — host-side throughput of the failure
+  path: pages re-homed per wall second across a server-death run,
+  timed end-to-end (run + post-completion migration drain).
+"""
+
+import time
+
+from _common import BENCH_SCALE, print_header
+from repro.cluster import ClusterConfig
+from repro.faults import RACK_SCENARIOS
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.results import result_digest
+
+APPS = ["snappy", "memcached"]
+SEED = 11
+SWEEP = (1, 2, 4)
+N_FULL = 8
+
+
+def _config(n_servers, fault_config=None):
+    cluster = ClusterConfig(n_servers=n_servers) if n_servers else None
+    return ExperimentConfig(
+        system="canvas",
+        scale=BENCH_SCALE,
+        seed=SEED,
+        cluster=cluster,
+        fault_config=fault_config,
+    )
+
+
+def _run(n_servers, fault_config=None):
+    """One timed rack run, drained past app completion; (result, wall_s)."""
+    start = time.perf_counter()
+    result = run_experiment(APPS, _config(n_servers, fault_config))
+    # Let background migration legs land before reading the ledger.
+    result.machine.engine.run(until=result.machine.engine.now + 200_000)
+    wall = time.perf_counter() - start
+    return result, wall
+
+
+def test_rack_scale_sweep(benchmark):
+    print_header("rack-scale sweep (canvas co-run, striped placement)")
+    print(f"{'servers':>8} {'worst_ms':>9} {'wall_s':>8} {'events/s':>12}")
+    digests = {}
+    for n_servers in SWEEP:
+        result, wall = _run(n_servers)
+        digests[n_servers] = result_digest(result)
+        worst = max(result.completion_time(a) for a in result.results)
+        steps = result.machine.engine.step_count
+        print(f"{n_servers:>8} {worst / 1e3:>9.2f} {wall:>8.3f} {steps / wall:>12.0f}")
+        assert result.rack.ledger_balanced()
+
+    # The permanent oracle: one server behind the rack layer is
+    # bit-identical to no rack layer at all.
+    base, _ = _run(None)
+    assert digests[1] == result_digest(base)
+
+    # The guarded point: host throughput with 8 per-server channel lanes.
+    state = {}
+
+    def run_full():
+        result, wall = _run(N_FULL)
+        state["result"], state["wall"] = result, wall
+        return result.machine.engine.step_count
+
+    steps = benchmark.pedantic(run_full, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.min
+    result = state["result"]
+    assert result.rack.ledger_balanced()
+    for app in result.apps.values():
+        assert app.finished_at_us is not None
+
+    # The failure path: a scripted server death mid-run, timed
+    # end-to-end.  Every lost page must be re-homed (exact ledger).
+    death, death_wall = _run(4, RACK_SCENARIOS["server-death"])
+    stats = death.rack.stats
+    assert stats.servers_failed == 1
+    assert stats.pages_rehomed > 0
+    assert stats.migration_aborts == 0
+    assert stats.pages_rehomed == stats.pages_lost_from_dead + stats.pages_drained
+    rehome_rate = stats.pages_rehomed / death_wall
+
+    benchmark.extra_info["servers"] = N_FULL
+    benchmark.extra_info["events"] = steps
+    benchmark.extra_info["rack_events_per_second"] = steps / seconds
+    benchmark.extra_info["pages_rehomed"] = stats.pages_rehomed
+    benchmark.extra_info["rehome_pages_per_second"] = rehome_rate
+
+    print_header("rack-scale: 8-server point and failure re-homing")
+    print(
+        f"8 servers: {steps} events in {seconds:.3f}s -> "
+        f"{steps / seconds / 1e3:.0f}k events/s"
+    )
+    print(
+        f"death run: {stats.pages_rehomed} pages re-homed "
+        f"({stats.pages_lost_from_dead} lost, {stats.pages_drained} drained) "
+        f"in {death_wall:.3f}s -> {rehome_rate:.0f} pages/s"
+    )

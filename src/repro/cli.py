@@ -35,7 +35,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.faults import SCENARIOS
+from repro.cluster import PLACEMENTS
+from repro.faults import RACK_SCENARIOS, SCENARIOS
 from repro.harness.cache import CACHE_DIR_ENV, CACHE_STATS, default_disk_cache
 from repro.harness.experiment import ExperimentConfig, run_experiment
 from repro.harness.parallel import default_worker_count, run_experiments_parallel
@@ -160,6 +161,35 @@ def build_parser() -> argparse.ArgumentParser:
         default=2_000_000,
         metavar="N",
         help="trace ring-buffer capacity in records",
+    )
+
+    rack_cmd = sub.add_parser(
+        "rack",
+        help="sweep a multi-server rack (fig13-style scalability) and "
+        "optionally inject server-death/drain episodes",
+    )
+    _add_common(rack_cmd)
+    rack_cmd.add_argument(
+        "--servers",
+        nargs="+",
+        type=int,
+        default=[1, 2, 4, 8],
+        metavar="N",
+        help="memory-server counts to sweep (default: 1 2 4 8)",
+    )
+    rack_cmd.add_argument(
+        "--placement",
+        default="stripe",
+        choices=sorted(PLACEMENTS),
+        help="cluster placement policy homing swap entries on servers",
+    )
+    rack_cmd.add_argument(
+        "--scenario",
+        default=None,
+        choices=sorted(RACK_SCENARIOS),
+        help="rack fault scenario (see repro.faults.RACK_SCENARIOS); "
+        "server ids are taken modulo the rack size, and a scenario "
+        "that would kill every server is skipped for that point",
     )
 
     cache_cmd = sub.add_parser(
@@ -374,6 +404,67 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_rack(args) -> int:
+    from dataclasses import replace
+
+    from repro.cluster import ClusterConfig
+
+    base = _config(args)
+    rows = []
+    for n in args.servers:
+        config = replace(
+            base,
+            cluster=ClusterConfig(n_servers=n, placement=args.placement),
+        )
+        note = ""
+        if args.scenario is not None:
+            fc = RACK_SCENARIOS[args.scenario]
+            deaths = tuple((sid % n, at) for sid, at in fc.server_deaths)
+            drains = tuple((sid % n, at) for sid, at in fc.server_drains)
+            if len({sid for sid, _ in deaths}) >= n:
+                note = "scenario skipped (would kill every server)"
+            else:
+                config = replace(
+                    config,
+                    fault_config=replace(
+                        fc, server_deaths=deaths, server_drains=drains
+                    ),
+                )
+        print(f"running {n}-server rack ...", file=sys.stderr)
+        result = run_experiment(args.apps, config)
+        stats = result.rack_stats
+        worst_ms = max(result.completion_time(name) for name in args.apps) / 1000
+        if not note:
+            note = (
+                "ledger ok"
+                if result.rack.ledger_balanced()
+                else "LEDGER IMBALANCE"
+            )
+        rows.append(
+            [
+                n,
+                worst_ms,
+                stats.pages_rehomed,
+                stats.pages_lost_from_dead,
+                stats.pages_drained,
+                stats.entries_retired,
+                note,
+            ]
+        )
+    print(
+        f"rack sweep ({args.placement}): {args.system} / {', '.join(args.apps)}"
+        + (f" under {args.scenario!r}" if args.scenario else "")
+    )
+    print(
+        format_table(
+            ["servers", "worst time (ms)", "rehomed", "lost", "drained",
+             "retired", "status"],
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = default_disk_cache()
     if cache is None:
@@ -415,6 +506,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "rack":
+        return _cmd_rack(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_list(args)

@@ -162,6 +162,14 @@ class CanvasSwapSystem(BaseSwapSystem):
         )
         base_alloc.tracer = self.trace
         state.allocator = base_alloc
+        if self.rack is not None:
+            # Rack model: home this cgroup's partition (and the shared
+            # global one) on memory servers, and let demand-driven
+            # growth pay the home server's registration cost.
+            self.rack.adopt(self, state.partition, base_alloc)
+            self.rack.adopt(self, self.global_partition, self.global_allocator)
+            if state.remote is not None:
+                state.remote.rack = self.rack
         if self.canvas.adaptive_allocation:
             state.adaptive = AdaptiveSwapManager(
                 self.engine,

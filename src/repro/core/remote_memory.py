@@ -55,6 +55,11 @@ class DemandDrivenRemoteMemory:
         #: Optional :class:`repro.faults.FaultPlan`: server slowdown
         #: episodes multiply the buffer-registration cost.
         self.fault_plan = fault_plan
+        #: Optional :class:`repro.cluster.Rack`: registration cost is
+        #: scaled by the home server the next chunk would land on (the
+        #: per-server registration-cost knob).  A 1.0 scale is guarded
+        #: out, so a homogeneous rack never perturbs the arithmetic.
+        self.rack = None
         self.stats = RemoteMemoryStats()
         self._growing = False
 
@@ -88,6 +93,10 @@ class DemandDrivenRemoteMemory:
                 if factor != 1.0:
                     cost *= factor
                     self.stats.degraded_registrations += 1
+            if self.rack is not None:
+                server_factor = self.rack.registration_scale_for(self.partition)
+                if server_factor != 1.0:
+                    cost *= server_factor
             yield self.engine.timeout(cost)
             self.partition.grow(chunk)
             self.stats.growths += 1

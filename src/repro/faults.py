@@ -45,7 +45,9 @@ __all__ = [
     "FaultConfig",
     "FaultPlan",
     "SCENARIOS",
+    "RACK_SCENARIOS",
     "scenario_config",
+    "rack_scenario_config",
     "make_plan",
 ]
 
@@ -114,6 +116,16 @@ class FaultConfig:
     #: Explicit (start_us, duration_us) pairs.
     server_windows: Tuple[Tuple[float, float], ...] = ()
 
+    # -- rack episodes (multi-server fabric; see repro.cluster) -----------
+    #: Explicit (server_id, at_us) memory-server failures.  Always
+    #: scripted — killing a *specific* server at a *specific* instant is
+    #: what the chaos suite needs, and there is no meaningful way to
+    #: auto-place a death without knowing the rack size.
+    server_deaths: Tuple[Tuple[int, float], ...] = ()
+    #: Explicit (server_id, at_us) drain episodes (planned removal via
+    #: background migration instead of failure).
+    server_drains: Tuple[Tuple[int, float], ...] = ()
+
     #: Horizon over which auto-placed windows are spread.
     window_horizon_us: float = 1_000_000.0
 
@@ -129,6 +141,8 @@ class FaultConfig:
             or self.degrade_windows
             or self.n_server_slowdowns > 0
             or self.server_windows
+            or self.server_deaths
+            or self.server_drains
         )
 
 
@@ -176,6 +190,11 @@ class FaultPlan:
             config.server_slowdown_duration_us,
             config.window_horizon_us,
         )
+        # Rack episodes are always scripted, so they pass through
+        # verbatim and never touch the window RNG (adding a death to a
+        # plan cannot perturb any other fault class's placement).
+        self.server_deaths = config.server_deaths
+        self.server_drains = config.server_drains
         self._roll_rng = np.random.default_rng(derive_seed(self.seed, "rolls"))
         self._p_drop = config.drop_prob
         self._p_total = config.drop_prob + config.completion_error_prob
@@ -304,12 +323,44 @@ SCENARIOS: Dict[str, FaultConfig] = {
 }
 
 
+#: Rack-scale scenarios (``canvas-sim rack`` and the rack chaos tests).
+#: Kept separate from :data:`SCENARIOS` — these only make sense with a
+#: multi-server :class:`repro.cluster.ClusterConfig` attached, and the
+#: chaos suite iterates "all SCENARIOS" against the single-endpoint
+#: fabric.  Server ids are modulo'd by callers against the rack size.
+RACK_SCENARIOS: Dict[str, FaultConfig] = {
+    #: One server dies mid-run; survivors absorb its pages.  (Scaled-down
+    #: workloads complete in milliseconds of simulated time, so episodes
+    #: land early enough to fire on every scale.)
+    "server-death": FaultConfig(server_deaths=((0, 200.0),)),
+    #: Planned removal: one server drains via background migration.
+    "server-drain": FaultConfig(server_drains=((0, 200.0),)),
+    #: Two servers die back to back (survivors re-home twice).
+    "double-failure": FaultConfig(server_deaths=((0, 200.0), (1, 400.0))),
+    #: A drain racing a flaky fabric: migration legs see verb faults.
+    "drain-storm": FaultConfig(
+        drop_prob=0.01,
+        completion_error_prob=0.01,
+        server_drains=((0, 150.0),),
+    ),
+}
+
+
 def scenario_config(name: str) -> FaultConfig:
     try:
         return SCENARIOS[name]
     except KeyError:
         raise ValueError(
             f"unknown fault scenario {name!r}; known: {sorted(SCENARIOS)}"
+        ) from None
+
+
+def rack_scenario_config(name: str) -> FaultConfig:
+    try:
+        return RACK_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown rack scenario {name!r}; known: {sorted(RACK_SCENARIOS)}"
         ) from None
 
 

@@ -22,6 +22,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.baselines.fastswap import FastswapSystem
 from repro.baselines.infiniswap import InfiniswapSystem
+from repro.cluster import ClusterConfig, Rack
 from repro.core.canvas import CanvasConfig, CanvasSwapSystem
 from repro.faults import FaultConfig, make_plan
 from repro.harness.driver import run_to_completion, spawn_app
@@ -113,6 +114,12 @@ class ExperimentConfig:
     #: the pre-fault code path exactly; a zero-rate config is attached
     #: but injects nothing, producing bit-identical results either way.
     fault_config: Optional[FaultConfig] = None
+    #: Optional rack model (see :mod:`repro.cluster`): N memory servers
+    #: behind the shared uplink, with a placement policy homing each
+    #: partition's entries.  ``None`` runs the single-endpoint path; a
+    #: default one-server rack is attached but bit-identical to it (the
+    #: ``n_servers=1`` oracle the digest suite pins).
+    cluster: Optional[ClusterConfig] = None
     #: Record a simulation-time event trace (:mod:`repro.obs`).  Tracing
     #: never touches the engine schedule or RNG, so a traced run produces
     #: bit-identical results; with ``False`` the tracepoint branches are
@@ -151,12 +158,17 @@ class ExperimentResult:
         apps: Dict[str, AppContext],
         elapsed_us: float,
         trace: Optional[TraceBuffer] = None,
+        rack: Optional[Rack] = None,
     ):
         self.machine = machine
         self.system = system
         self.apps = apps
         self.elapsed_us = elapsed_us
         self.trace = trace
+        #: Live rack (when a cluster config was attached) and its stats;
+        #: the live object does not survive pickling, the stats do.
+        self.rack = rack
+        self.rack_stats = rack.stats if rack is not None else None
         self.telemetry = machine.telemetry
         self.results: Dict[str, AppResult] = {}
         for name, app in apps.items():
@@ -322,12 +334,25 @@ def run_experiment(
     is_canvas = isinstance(system, CanvasSwapSystem)
     if profiler is not None:
         machine.nic.profiler = profiler
+    # The rack attaches before any app registers: Canvas adopts each
+    # per-cgroup partition in _setup_app, and the linux-family shared
+    # partition is adopted here.  It also precedes the tracer attach so
+    # attach_tracer can propagate into the rack.
+    rack = None
+    if config.cluster is not None:
+        rack = Rack(machine.engine, machine.nic, config.cluster, seed=config.seed)
+        system.rack = rack
+        shared_partition = getattr(system, "partition", None)
+        if shared_partition is not None:
+            rack.adopt(system, shared_partition, getattr(system, "allocator", None))
     # Fault plan attaches before any app registers: Canvas reads
     # ``system.fault_plan`` while provisioning per-cgroup resources.
     fault_plan = make_plan(config.fault_config, config.seed)
     if fault_plan is not None:
         machine.nic.fault_plan = fault_plan
         system.fault_plan = fault_plan
+        if rack is not None:
+            rack.schedule_plan(fault_plan)
 
     # The tracer attaches before any app registers so per-app structures
     # (LRU lists, allocators) pick it up as they are created.
@@ -400,7 +425,7 @@ def run_experiment(
             perf_counter() - wall_start,
             sum(app.stats.accesses for app in apps.values()),
         )
-    return ExperimentResult(machine, system, apps, elapsed, trace=tracer)
+    return ExperimentResult(machine, system, apps, elapsed, trace=tracer, rack=rack)
 
 
 def run_individual(

@@ -176,4 +176,8 @@ def snapshot_result_state(result) -> dict:
         # TraceBuffer drops its engine reference when pickled; the
         # records themselves are plain tuples.
         "trace": getattr(result, "trace", None),
+        # The live Rack holds engine references; only its stats (a plain
+        # dataclass) cross the pickle boundary.
+        "rack": None,
+        "rack_stats": getattr(result, "rack_stats", None),
     }

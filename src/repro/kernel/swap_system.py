@@ -178,6 +178,11 @@ class BaseSwapSystem:
         #: harness alongside ``nic.fault_plan``; subsystems the kernel
         #: builds later (e.g. demand-driven remote memory) read it here.
         self.fault_plan = None
+        #: Optional :class:`repro.cluster.Rack` (multi-server fabric),
+        #: attached by the harness.  The error-CQE hooks consult it to
+        #: rebind reads/writebacks whose home server died; None keeps
+        #: the single-endpoint code paths untouched.
+        self.rack = None
         #: Optional :class:`repro.obs.TraceBuffer`; attach via
         #: :meth:`attach_tracer`.  Every tracepoint in the swap path is
         #: one ``is not None`` check while this stays unset, and no
@@ -196,6 +201,9 @@ class BaseSwapSystem:
         self.trace = tracer
         self.nic.tracer = tracer
         self._attach_tracer_extra(tracer)
+        if self.rack is not None:
+            self.rack.tracer = tracer
+            self.rack.trace = tracer
         for app in self.apps.values():
             app.lru.tracer = tracer
 
@@ -1131,14 +1139,22 @@ class BaseSwapSystem:
         app.stats.demand_retries += 1
         if self.trace is not None:
             self.trace.emit(DEMAND_RETRY, app.name, 0, page.vpn, retries)
+        entry = request.entry
+        rack = self.rack
+        if rack is not None and rack.dead_target(request):
+            # The home server died under this read: rebind the page to a
+            # live entry and retry against it (modelling the re-read from
+            # a surviving replica); the rack re-establishes the new home
+            # copy in the background.
+            entry = rack.rebind_for_read_retry(self, app, page, entry)
         retry = self._acquire_request(
-            RdmaOp.READ, RequestKind.DEMAND, app.name, request.entry, page
+            RdmaOp.READ, RequestKind.DEMAND, app.name, entry, page
         )
         retry.kernel_retries = retries
         self._inflight_req[page] = retry
         # The page keeps its frame charge, cache slot, and lock; waiters
         # stay parked on the same in-flight event until the retry lands.
-        request.entry.timestamp_us = None
+        entry.timestamp_us = None
         self._submit_read(app, retry)
 
     def _cancel_prefetch(self, app: AppContext, request: RdmaRequest) -> None:
@@ -1185,8 +1201,14 @@ class BaseSwapSystem:
         app.stats.writeback_retries += 1
         if self.trace is not None:
             self.trace.emit(WB_RETRY, app.name, 0, page.vpn, retries)
+        entry = request.entry
+        rack = self.rack
+        if rack is not None and rack.dead_target(request):
+            # The target server died under this writeback: the data is
+            # still local, so just retarget the write at a live entry.
+            entry = rack.rebind_for_writeback_retry(self, app, page, entry)
         retry = self._acquire_request(
-            RdmaOp.WRITE, RequestKind.SWAPOUT, app.name, request.entry, page
+            RdmaOp.WRITE, RequestKind.SWAPOUT, app.name, entry, page
         )
         retry.kernel_retries = retries
         self._inflight_req[page] = retry

@@ -96,6 +96,13 @@ FAULT_GROUP_END = 35  # group done; arg: members actually faulted
 RECLAIM_GROUP_BEGIN = 36  # batch started; arg: planned batch size
 RECLAIM_GROUP_END = 37  # batch done; arg: pages actually evicted
 
+# Rack-scale disaggregation (cluster.py); key = server_id unless noted.
+RACK_SERVER_DEAD = 38  # memory server failed; arg: entries homed there
+RACK_SERVER_DRAIN = 39  # drain started; arg: entries homed there
+RACK_REHOME = 40  # page re-homed; key = old entry id, arg = new server id
+RACK_MIGRATE = 41  # migration transfer resolved; key = entry id, arg = op
+RACK_RETIRE = 42  # entry withdrawn; key = entry id, arg = server id
+
 #: Thread lane for grouped-reclaim trace records.  kswapd shares core 0
 #: with direct-reclaiming fault threads, so its grouped rounds emit on
 #: this sentinel lane instead — the reclaim-group-pairing lint can then
@@ -142,6 +149,11 @@ KIND_NAMES = {
     FAULT_GROUP_END: "fault_group_end",
     RECLAIM_GROUP_BEGIN: "reclaim_group_begin",
     RECLAIM_GROUP_END: "reclaim_group_end",
+    RACK_SERVER_DEAD: "rack_server_dead",
+    RACK_SERVER_DRAIN: "rack_server_drain",
+    RACK_REHOME: "rack_rehome",
+    RACK_MIGRATE: "rack_migrate",
+    RACK_RETIRE: "rack_retire",
 }
 
 

@@ -45,6 +45,9 @@ class RequestKind(enum.Enum):
     DEMAND = "demand"
     PREFETCH = "prefetch"
     SWAPOUT = "swapout"
+    #: Rack-level page migration (server drain / failure re-homing); the
+    #: op distinguishes the replica read from the new-home write.
+    REHOME = "rehome"
 
     __hash__ = object.__hash__  # same rationale as RdmaOp
 

@@ -141,6 +141,10 @@ class NicStats:
     degraded_transfers: int = 0
     #: Completions delayed by a remote-server slowdown episode.
     server_delayed: int = 0
+    #: Rack model: verbs aimed at a dead memory server (immediate error
+    #: CQE, no wire time) and completed migration transfers.
+    dead_target_errors: int = 0
+    rehome_completed: int = 0
     #: Doorbell batching: multi-request submissions (one kick per run)
     #: and drained serves (requests whose service/completion times were
     #: computed arithmetically inside one dispatch wakeup instead of a
@@ -180,6 +184,14 @@ class RNIC:
         #: Optional :class:`repro.obs.TraceBuffer`; every tracepoint is
         #: a single ``is not None`` check while unset.
         self.tracer = None
+        #: Optional :class:`repro.cluster.Rack`.  When set, each served
+        #: transfer also reserves its target memory server's channel
+        #: (the later release wins), and verbs aimed at a dead server
+        #: surface error CQEs without touching the wire.  Every site is
+        #: gated on this attribute, and a one-server rack at scale 1.0
+        #: mirrors the uplink in lockstep, so the single-endpoint
+        #: timestamps are preserved bit for bit.
+        self.rack = None
         #: Lazily created per-op retransmission QPs.  Priority -1 sorts
         #: ahead of every kernel QP, so a retried transfer re-enters
         #: service before new work — RC hardware replays from the send
@@ -330,6 +342,16 @@ class RNIC:
                     # after the hooks' unwind has been dispatched.
                     engine._immediate.append(request._recycle_cb)
                 continue
+            rack = self.rack
+            if rack is not None and rack.dead_target(request):
+                # Target memory server is dead: the verb never reaches
+                # the wire; an error CQE arrives after the propagation
+                # delay and the kernel's error hooks take over.
+                self.stats.dead_target_errors += 1
+                request.error = True
+                request.issued_at_us = engine.now
+                engine.call_after(self.base_latency_us, self._complete, request)
+                continue
             plan = self.fault_plan
             if plan is not None:
                 yield from self._serve_faulted(channel, request, plan)
@@ -346,6 +368,19 @@ class RNIC:
                     request.kind.value,
                 )
             release = channel.reserve(now + self.verb_overhead_us, request.size_bytes)
+            if rack is not None:
+                # Mirror the reservation on the target server's channel
+                # at this exact synchronous point, so the server channel
+                # sees the uplink's reservation sequence verbatim (the
+                # one-server lockstep that keeps lag exactly 0.0).
+                lag = rack.wire_lag(
+                    request, now + self.verb_overhead_us, release
+                )
+                yield engine.sleep(release - now)
+                engine.call_after(
+                    self.base_latency_us + lag, self._complete, request
+                )
+                continue
             # Doorbell-batched drain: when the head priority group is a
             # single FIFO with more work queued, the serial loop's next
             # iterations are fully determined — each wake serves that
@@ -356,7 +391,9 @@ class RNIC:
             # wake_j = now_j + (release_j - now_j), completion at
             # wake_j + base (call_at_exact avoids call_after's relative
             # round-trip).  Gated off under tracing (QP_SERVE must carry
-            # real serve times) and profiling (attribution per serve).
+            # real serve times) and profiling (attribution per serve);
+            # rack-attached serves returned above (the per-server
+            # channel mirror is inherently per-transfer).
             if self.tracer is None and self.profiler is None:
                 groups = self._groups[op]
                 head = groups[0] if groups else None
@@ -420,6 +457,14 @@ class RNIC:
         release = channel.reserve(
             now + self.verb_overhead_us, request.size_bytes, scale
         )
+        rack = self.rack
+        lag = 0.0
+        if rack is not None:
+            # Same mirror-at-reserve-time rule as the plain path, with
+            # the degradation scale applied to both channels.
+            lag = rack.wire_lag(
+                request, now + self.verb_overhead_us, release, scale
+            )
         yield engine.sleep(release - now)
         verdict = plan.roll(request)
         if verdict:
@@ -428,7 +473,12 @@ class RNIC:
         extra = plan.server_delay_us(engine.now)
         if extra > 0.0:
             self.stats.server_delayed += 1
-        engine.call_after(self.base_latency_us + extra, self._complete, request)
+        if lag > 0.0:
+            engine.call_after(
+                self.base_latency_us + extra + lag, self._complete, request
+            )
+        else:
+            engine.call_after(self.base_latency_us + extra, self._complete, request)
 
     def _transport_fault(self, request: RdmaRequest, verdict: int, plan) -> None:
         """One served transfer failed: back off and retransmit, or give up.
@@ -528,8 +578,10 @@ class RNIC:
                 stats.demand_completed += 1
             elif kind is RequestKind.PREFETCH:
                 stats.prefetch_completed += 1
-            else:
+            elif kind is RequestKind.SWAPOUT:
                 stats.swapout_completed += 1
+            else:
+                stats.rehome_completed += 1
         for hook in self.completion_hooks:
             hook(request)
         if request.completion is not None:

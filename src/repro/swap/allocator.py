@@ -102,6 +102,10 @@ class EntryAllocator:
         #: post-hoc.  ``take_free_untimed`` (experiment setup) stays
         #: untraced: prepopulation happens outside simulated time.
         self.tracer = None
+        #: Optional :class:`repro.cluster.Rack`.  When set, ``free``
+        #: consults the rack so entries homed on a dead or draining
+        #: server retire instead of re-entering any free pool.
+        self.rack = None
 
     def _trace_alloc(self, entry: SwapEntry) -> None:
         if self.tracer is not None:
@@ -146,8 +150,29 @@ class EntryAllocator:
         """Return an entry to its partition's free pool (not timed)."""
         if self.tracer is not None:
             self.tracer.emit(ENTRY_FREE, "", 0, entry.entry_id, self.name)
+        rack = self.rack
+        if rack is not None and rack.entry_condemned(entry):
+            rack.retire_freed(entry)
+            self.stats.frees += 1
+            return
         self.partition.push_free(entry)
         self.stats.frees += 1
+
+    def retire_matching(self, server_id: int) -> List[SwapEntry]:
+        """Pull every pooled free entry homed on ``server_id``.
+
+        Called by the rack when a memory server dies or drains, so a
+        condemned entry can never be handed out again.  Returns the
+        victims (the rack retires them).  Policies with private caches
+        or cluster free lists override and extend this.
+        """
+        free = self.partition._free
+        victims = [e for e in free if e.server_id == server_id]
+        if victims:
+            keep = [e for e in free if e.server_id != server_id]
+            free.clear()
+            free.extend(keep)
+        return victims
 
 
 def _scan_cost_us(
@@ -349,6 +374,12 @@ class PerCoreClusterAllocator(EntryAllocator):
     def free(self, entry: SwapEntry) -> None:
         if self.tracer is not None:
             self.tracer.emit(ENTRY_FREE, "", 0, entry.entry_id, self.name)
+        rack = self.rack
+        if rack is not None and rack.entry_condemned(entry):
+            rack.retire_freed(entry)
+            self._allocated -= 1
+            self.stats.frees += 1
+            return
         entry.allocated = False
         entry.reserved = False
         entry.stored_vpn = None
@@ -357,6 +388,21 @@ class PerCoreClusterAllocator(EntryAllocator):
         self._entry_cluster[entry.entry_id].free.append(entry)
         self._allocated -= 1
         self.stats.frees += 1
+
+    def retire_matching(self, server_id: int) -> List[SwapEntry]:
+        # This policy never pops the partition's own deque (it still
+        # holds every initial entry, in-use ones included), so only the
+        # cluster free lists are purged — touching the base deque here
+        # would condemn entries that are actually live.
+        victims: List[SwapEntry] = []
+        for cluster in self.clusters:
+            matching = [e for e in cluster.free if e.server_id == server_id]
+            if matching:
+                cluster.free[:] = [
+                    e for e in cluster.free if e.server_id != server_id
+                ]
+                victims.extend(matching)
+        return victims
 
     def take_free_untimed(self) -> SwapEntry:
         for cluster in self.clusters:
@@ -441,6 +487,15 @@ class BatchAllocator(EntryAllocator):
             self._trace_alloc(entry)
             entries.append(entry)
         return entries
+
+    def retire_matching(self, server_id: int) -> List[SwapEntry]:
+        victims = super().retire_matching(server_id)
+        for cache in self._core_cache.values():
+            matching = [e for e in cache if e.server_id == server_id]
+            if matching:
+                cache[:] = [e for e in cache if e.server_id != server_id]
+                victims.extend(matching)
+        return victims
 
 
 class Linux514Allocator(PerCoreClusterAllocator):
@@ -547,3 +602,12 @@ class Linux514Allocator(PerCoreClusterAllocator):
             self._trace_alloc(entry)
             entries.append(entry)
         return entries
+
+    def retire_matching(self, server_id: int) -> List[SwapEntry]:
+        victims = super().retire_matching(server_id)  # cluster free lists
+        for batch in self._core_batch.values():
+            matching = [e for e in batch if e.server_id == server_id]
+            if matching:
+                batch[:] = [e for e in batch if e.server_id != server_id]
+                victims.extend(matching)
+        return victims

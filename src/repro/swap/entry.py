@@ -24,6 +24,8 @@ class SwapEntry:
         "stored_vpn",
         "timestamp_us",
         "valid",
+        "server_id",
+        "retired",
     )
 
     def __init__(self, entry_id: int, partition_name: str):
@@ -38,6 +40,12 @@ class SwapEntry:
         self.timestamp_us: Optional[float] = None
         #: Canvas §5.3: cleared to drop the in-flight prefetch.
         self.valid = True
+        #: Memory server backing this entry (rack model); 0 when no rack
+        #: is attached, so the single-endpoint config never branches.
+        self.server_id = 0
+        #: Permanently withdrawn from circulation (its server died or was
+        #: drained).  A retired entry never re-enters any free pool.
+        self.retired = False
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

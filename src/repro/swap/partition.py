@@ -27,6 +27,10 @@ class SwapPartition:
         self.n_entries = n_entries
         self.entries: List[SwapEntry] = [SwapEntry(i, name) for i in range(n_entries)]
         self._free: Deque[SwapEntry] = deque(self.entries)
+        #: Rack hook: called as ``on_grow(partition, new_entries)`` after a
+        #: demand-driven grow so freshly registered entries get homed on a
+        #: memory server.  None when no rack is attached.
+        self.on_grow = None
 
     def grow(self, n_entries: int) -> List[SwapEntry]:
         """Append freshly registered remote memory (demand-driven, §4).
@@ -42,6 +46,8 @@ class SwapPartition:
         self.entries.extend(new_entries)
         self.n_entries += n_entries
         self._free.extend(new_entries)
+        if self.on_grow is not None:
+            self.on_grow(self, new_entries)
         return new_entries
 
     @property

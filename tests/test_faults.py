@@ -18,13 +18,16 @@ Three layers:
 
 import pytest
 
+from repro.cluster import ClusterConfig
 from repro.faults import (
     FAULT_DROP,
     FAULT_ERROR,
     FaultConfig,
     FaultPlan,
+    RACK_SCENARIOS,
     SCENARIOS,
     make_plan,
+    rack_scenario_config,
     scenario_config,
 )
 from repro.harness.driver import run_to_completion, spawn_app
@@ -470,3 +473,136 @@ def test_grouped_admission_is_digest_invisible(system):
     assert result_digest(
         _faulted_run(system, None, grouped=True)
     ) == result_digest(_faulted_run(system, None, grouped=False))
+
+
+# -- Rack-scale chaos: server death, drain, and re-homing (PR 9) ---------
+
+
+def _rack_run(system, fault_config, n_servers=4, apps=("memcached",), seed=11):
+    """A scaled run on an n-server rack, drained past app completion.
+
+    Apps finish before background migration necessarily does; the
+    post-run drain (the established chaos idiom) lets every in-flight
+    verb and migration leg resolve before the cleanliness assertions.
+    """
+    config = ExperimentConfig(
+        system=system,
+        scale=0.03,
+        seed=seed,
+        cluster=ClusterConfig(n_servers=n_servers),
+        fault_config=fault_config,
+    )
+    result = run_experiment(list(apps), config)
+    result.machine.engine.run(until=result.machine.engine.now + 200_000)
+    return result
+
+
+def _assert_rack_clean(result):
+    """No leaks, no stuck waiters, and an exactly reconciled ledger."""
+    system, rack = result.system, result.rack
+    assert system._inflight == {}
+    assert system._inflight_req == {}
+    assert all(a.outstanding_writebacks == 0 for a in system.apps.values())
+    for pool in (system._request_pool, rack._request_pool):
+        for request in pool:
+            assert request._in_pool
+            assert request.entry is None and request.page is None
+            assert not request.completion.fired
+    assert rack.migrations_quiesced  # no half-finished migration legs
+    stats = rack.stats
+    assert stats.migration_aborts == 0
+    assert stats.pages_rehomed == stats.pages_lost_from_dead + stats.pages_drained
+    assert rack.ledger_balanced()
+
+
+def test_rack_scenario_lookup():
+    assert rack_scenario_config("server-death") is RACK_SCENARIOS["server-death"]
+    with pytest.raises(ValueError):
+        rack_scenario_config("nope")
+
+
+@pytest.mark.parametrize("scenario", sorted(RACK_SCENARIOS))
+def test_rack_scenarios_complete_clean_on_canvas(scenario):
+    """Every scripted rack episode resolves with nothing leaked."""
+    result = _rack_run("canvas", rack_scenario_config(scenario))
+    for app in result.apps.values():
+        assert app.finished_at_us is not None
+    _assert_rack_clean(result)
+    stats = result.rack.stats
+    # The episode actually fired and actually moved data.
+    assert stats.servers_failed + stats.servers_drained > 0
+    assert stats.pages_rehomed > 0
+
+
+def test_rack_server_death_mid_writeback_rehomes_every_binding():
+    result = _rack_run("canvas", RACK_SCENARIOS["server-death"])
+    stats = result.rack.stats
+    assert stats.servers_failed == 1
+    # Server 0 held live bindings when it died: pages whose only copy
+    # sat there were re-read from a replica and re-homed.
+    assert stats.pages_lost_from_dead > 0
+    assert stats.pages_rehomed == stats.pages_lost_from_dead
+    # Verbs in flight against the dead server surfaced error CQEs that
+    # the kernel hooks retargeted (counted separately from losses).
+    nic_stats = result.machine.nic.stats
+    assert nic_stats.dead_target_errors == (
+        stats.writeback_rebinds + stats.demand_rebinds
+    )
+    # No entry survives on the dead server.
+    assert result.rack.homed_counts()[0] == 0
+    _assert_rack_clean(result)
+
+
+def test_rack_drain_during_fault_storm_migrates_clean():
+    """Background drain under transport chaos: both ledgers reconcile."""
+    result = _rack_run("canvas", RACK_SCENARIOS["drain-storm"])
+    rack_stats = result.rack.stats
+    assert rack_stats.servers_drained == 1
+    assert rack_stats.pages_drained > 0
+    nic_stats = result.machine.nic.stats
+    plan = result.machine.nic.fault_plan
+    assert plan.rolls > 0  # the storm actually fired
+    assert _reconciled(nic_stats)
+    _assert_rack_clean(result)
+
+
+def test_rack_double_failure_survivors_absorb_both_waves():
+    result = _rack_run("canvas", RACK_SCENARIOS["double-failure"])
+    stats = result.rack.stats
+    assert stats.servers_failed == 2
+    counts = result.rack.homed_counts()
+    assert counts[0] == 0 and counts[1] == 0
+    assert sum(counts.values()) > 0  # survivors hold everything
+    _assert_rack_clean(result)
+
+
+def test_rack_chaos_is_deterministic():
+    fault_config = RACK_SCENARIOS["double-failure"]
+    a = _rack_run("canvas", fault_config)
+    b = _rack_run("canvas", fault_config)
+    assert result_digest(a) == result_digest(b)
+    assert a.rack.stats == b.rack.stats
+
+
+# -- The n_servers=1 oracle: a one-server rack is digest-invisible -------
+
+
+def _rack_digest(system, cluster, apps=("memcached",)):
+    config = ExperimentConfig(
+        system=system, scale=0.03, seed=11, cluster=cluster
+    )
+    return result_digest(run_experiment(list(apps), config))
+
+
+@pytest.mark.parametrize("system", _AB_SYSTEMS)
+def test_one_server_rack_is_bit_identical_to_no_rack(system):
+    """The permanent oracle: ``n_servers=1`` must never perturb a run."""
+    assert _rack_digest(system, ClusterConfig()) == _rack_digest(system, None)
+
+
+def test_one_server_rack_is_bit_identical_on_a_corun():
+    """The fig10-style co-run shape holds the oracle too."""
+    apps = ("snappy", "memcached")
+    assert _rack_digest("canvas", ClusterConfig(), apps) == _rack_digest(
+        "canvas", None, apps
+    )
