@@ -1,0 +1,157 @@
+"""Churn + SLO macro-benchmark: one diurnal day at 1,000 cgroups.
+
+Not a paper figure — the harness macro-benchmark guarding app lifecycle
+teardown and traffic-driven elasticity (PR 10).  Canvas's motivating
+setting is many cgroups sharing one swap path, but real fleets are not
+a fixed roster: sessions arrive on a diurnal curve, run, and depart
+through ``unregister_app``, so registration, partition reservation,
+prefetcher state, and swap entries are built up and torn down a
+thousand times per simulated day.  A fault storm (a link flap plus a
+bandwidth-degrade window) lands inside the busiest decile of the day,
+and the SLO controller is live throughout, feeding per-cgroup p99
+demand-fault latency back into the two-dimensional scheduler's weights.
+
+The guarded number is events/sec (engine callbacks dispatched per wall
+second) over the full day — it covers the teardown sweeps, the traffic
+plan's arrival machinery, and the SLO control loop alongside the swap
+path itself.  Correctness riders on the same run: every session must
+depart leak-free, arrivals/departures must actually be spread across
+the day (this is churn, not a synchronized wave), and the controller
+must have both boosted and decayed.
+"""
+
+import time
+
+from _common import print_header
+from repro.core.slo import SloConfig
+from repro.faults import FaultConfig
+from repro.harness.experiment import ExperimentConfig, run_churn
+from repro.workloads.traffic import TrafficConfig, make_traffic_plan
+
+SEED = 7
+N_FULL = 1_000
+SWEEP = (100, 300)
+DAY_US = 200_000.0
+#: Per-session mean accesses; sized so the full day is dominated by the
+#: swap path, not the arrival machinery, while three pedantic rounds
+#: stay tractable.
+ACCESSES_MEAN = 1_500
+#: The controller's latency target sits below storm-time p99, so the
+#: storm forces breaches (boosts) and the quiet shoulders decay them.
+TARGET_P99_US = 60.0
+
+
+def churn_traffic(n_sessions: int) -> TrafficConfig:
+    return TrafficConfig(
+        n_sessions=n_sessions,
+        day_us=DAY_US,
+        accesses_mean=ACCESSES_MEAN,
+        working_set_pages=48,
+        pressured_every=4,
+    )
+
+
+def storm_config(traffic: TrafficConfig, seed: int) -> FaultConfig:
+    """A fault storm aimed at the busiest decile of the arrival curve.
+
+    The traffic plan is a pure function of ``(traffic, seed)``, so the
+    peak window computed here is exactly the one ``run_churn`` will
+    replay: the flap and the degrade window land at peak load.
+    """
+    plan = make_traffic_plan(traffic, seed)
+    start, end = plan.peak_window_us
+    width = end - start
+    return FaultConfig(
+        fault_seed=seed,
+        flap_windows=((start + 0.1 * width, 1_500.0),),
+        degrade_windows=((start + 0.4 * width, 0.5 * width, 0.4),),
+    )
+
+
+def churn_config(n_sessions: int) -> ExperimentConfig:
+    traffic = churn_traffic(n_sessions)
+    return ExperimentConfig(
+        system="canvas",
+        seed=SEED,
+        traffic=traffic,
+        slo=SloConfig(
+            target_p99_us=TARGET_P99_US, period_us=2_000.0, min_samples=8
+        ),
+        fault_config=storm_config(traffic, SEED),
+    )
+
+
+def run_day(n_sessions: int):
+    """One full churn day; returns (wall_s, steps, result)."""
+    config = churn_config(n_sessions)
+    start = time.perf_counter()
+    result = run_churn(config)
+    wall = time.perf_counter() - start
+    return wall, result.machine.engine.step_count, result
+
+
+def test_churn_slo_diurnal_day(benchmark):
+    print_header("churn + SLO sweep (diurnal day, peak fault storm)")
+    print(f"{'sessions':>8} {'wall_s':>8} {'events/s':>12} {'accesses/s':>12}")
+    for n_sessions in SWEEP:
+        wall, steps, result = run_day(n_sessions)
+        accesses = sum(app.stats.accesses for app in result.apps.values())
+        print(
+            f"{n_sessions:>8} {wall:>8.3f} {steps / wall:>12.0f} "
+            f"{accesses / wall:>12.0f}"
+        )
+
+    state = {}
+
+    def run_full():
+        wall, steps, result = run_day(N_FULL)
+        state["result"] = result
+        return steps
+
+    steps = benchmark.pedantic(run_full, rounds=3, iterations=1)
+    seconds = benchmark.stats.stats.min
+    result = state["result"]
+    apps = result.apps
+    accesses = sum(app.stats.accesses for app in apps.values())
+    faults = sum(app.stats.faults for app in apps.values())
+    events_per_second = steps / seconds
+
+    # Every one of the 1,000 sessions departed leak-free.
+    assert len(apps) == N_FULL
+    assert len(result.system.apps) == 0
+    for app in apps.values():
+        assert app.pool.used == 0
+        assert app.outstanding_writebacks == 0
+        assert app.inflight_prefetches == 0
+
+    # Arrivals and departures are spread across the day, not one wave.
+    starts = sorted(app.started_at_us for app in apps.values())
+    finishes = sorted(app.finished_at_us for app in apps.values())
+    assert starts[-1] - starts[0] > DAY_US / 2
+    assert finishes[-1] > finishes[0]
+
+    # The SLO loop ran all day and both levers moved: the peak storm
+    # forced breaches (boosts); quiet shoulders decayed them back.
+    slo = result.slo.stats
+    assert slo.rounds > 50
+    assert slo.boosts_applied > 0
+    assert slo.decays_applied > 0
+
+    benchmark.extra_info["sessions"] = N_FULL
+    benchmark.extra_info["events"] = steps
+    benchmark.extra_info["events_per_second"] = events_per_second
+    benchmark.extra_info["accesses_per_second"] = accesses / seconds
+    benchmark.extra_info["faults"] = faults
+    benchmark.extra_info["slo_rounds"] = slo.rounds
+    benchmark.extra_info["slo_boosts"] = slo.boosts_applied
+
+    print_header("1,000-session diurnal day: churn + peak storm + SLO")
+    print(
+        f"day:    {steps} events in {seconds:.3f}s -> "
+        f"{events_per_second / 1e3:.0f}k events/s, "
+        f"{accesses / seconds / 1e6:.2f}M accesses/s"
+    )
+    print(
+        f"storm:  {faults} demand faults; SLO {slo.rounds} rounds, "
+        f"{slo.boosts_applied} boosts / {slo.decays_applied} decays"
+    )

@@ -48,6 +48,7 @@ from repro.metrics.report import (
     format_table,
 )
 from repro.workloads.registry import WORKLOADS
+from repro.workloads.traffic import TRAFFIC_SCENARIOS
 
 SYSTEMS = ["linux", "linux514", "fastswap", "infiniswap", "canvas-iso", "canvas"]
 
@@ -190,6 +191,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="rack fault scenario (see repro.faults.RACK_SCENARIOS); "
         "server ids are taken modulo the rack size, and a scenario "
         "that would kill every server is skipped for that point",
+    )
+
+    churn_cmd = sub.add_parser(
+        "churn",
+        help="run an open-loop traffic day (sessions arrive, run, and "
+        "unregister on a seeded curve) and report lifecycle/SLO stats",
+    )
+    churn_cmd.add_argument("--system", default="canvas", choices=SYSTEMS)
+    churn_cmd.add_argument(
+        "--scenario",
+        default="diurnal",
+        choices=sorted(TRAFFIC_SCENARIOS),
+        help="traffic curve (see repro.workloads.traffic.TRAFFIC_SCENARIOS)",
+    )
+    churn_cmd.add_argument(
+        "--sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the scenario's session count",
+    )
+    churn_cmd.add_argument(
+        "--day-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="override the simulated day length",
+    )
+    churn_cmd.add_argument("--seed", type=int, default=0)
+    churn_cmd.add_argument(
+        "--slo-target-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="enable the SLO controller with this p99 demand-latency target",
+    )
+    churn_cmd.add_argument(
+        "--fault-scenario",
+        default=None,
+        choices=sorted(SCENARIOS),
+        help="run the day under a named fault scenario",
     )
 
     cache_cmd = sub.add_parser(
@@ -465,6 +507,65 @@ def _cmd_rack(args) -> int:
     return 0
 
 
+def _cmd_churn(args) -> int:
+    from dataclasses import replace as dc_replace
+
+    from repro.core.slo import SloConfig
+    from repro.harness.experiment import run_churn
+
+    traffic = TRAFFIC_SCENARIOS[args.scenario]
+    overrides = {}
+    if args.sessions is not None:
+        overrides["n_sessions"] = args.sessions
+    if args.day_us is not None:
+        overrides["day_us"] = args.day_us
+    if overrides:
+        traffic = dc_replace(traffic, **overrides)
+    config = ExperimentConfig(
+        system=args.system,
+        seed=args.seed,
+        traffic=traffic,
+        slo=(
+            SloConfig(target_p99_us=args.slo_target_us)
+            if args.slo_target_us is not None
+            else None
+        ),
+        fault_config=(
+            SCENARIOS[args.fault_scenario]
+            if args.fault_scenario is not None
+            else None
+        ),
+    )
+    print(
+        f"running {traffic.n_sessions}-session "
+        f"{args.scenario!r} day on {args.system} ...",
+        file=sys.stderr,
+    )
+    result = run_churn(config)
+    leaked = len(result.system.apps)
+    pressured = sum(1 for s in result.plan.sessions if s.pressured)
+    faults = sum(app.stats.faults for app in result.apps.values())
+    accesses = sum(app.stats.accesses for app in result.apps.values())
+    print(f"churn day: {args.scenario} x{len(result.plan.sessions)} on {args.system}")
+    rows = [
+        ["sessions", len(result.plan.sessions)],
+        ["pressured", pressured],
+        ["accesses", accesses],
+        ["faults", faults],
+        ["elapsed (ms)", result.elapsed_us / 1000],
+        ["still registered", leaked],
+    ]
+    if result.slo_stats is not None:
+        rows.append(["slo rounds", result.slo_stats.rounds])
+        rows.append(["slo breaches", result.slo_stats.breaches])
+    print(format_table(["metric", "value"], rows))
+    if leaked:
+        print(f"ERROR: {leaked} cgroup(s) never unregistered", file=sys.stderr)
+        return 1
+    print(f"digest: {result.digest()}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     cache = default_disk_cache()
     if cache is None:
@@ -508,6 +609,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "rack":
         return _cmd_rack(args)
+    if args.command == "churn":
+        return _cmd_churn(args)
     if args.command == "cache":
         return _cmd_cache(args)
     return _cmd_list(args)

@@ -328,6 +328,28 @@ class Rack:
         if allocator is not None:
             allocator.rack = self
 
+    def withdraw(self, partition: SwapPartition) -> None:
+        """Undo :meth:`adopt` for a departing app's private partition.
+
+        Retires every non-retired entry (decrementing the per-server
+        homed charges), unhooks growth, and forgets the locality home so
+        the ledgers reconcile after teardown.  Entries must already be
+        free — teardown sweeps the pages first.  No-op for partitions
+        the rack never adopted (e.g. the shared global partition stays
+        adopted for the apps still using it).
+        """
+        if partition.name not in self._adopted_names:
+            return
+        self._adopted_names.discard(partition.name)
+        self._adopted = [
+            triple for triple in self._adopted if triple[1] is not partition
+        ]
+        for entry in partition.entries:
+            if not entry.retired:
+                self._retire(entry)
+        self._homes.pop(partition.name, None)
+        partition.on_grow = None
+
     # ------------------------------------------------------------------
     # NIC integration
     # ------------------------------------------------------------------

@@ -239,6 +239,49 @@ class CanvasSwapSystem(BaseSwapSystem):
                 state.adaptive.reserve_prepopulated(page)
 
     # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def _teardown_app(self, app: AppContext) -> int:
+        """Dismantle the per-cgroup provisioning of :meth:`_setup_app`.
+
+        Reservation release and the daemon interrupts run first (the
+        adaptive manager needs live pages); the base sweep runs while
+        ``_state`` still resolves this app, because it dispatches
+        through the ``_cache_for``/``_release_entry`` hooks; scheduler,
+        rebalancer, and rack unregistration come last.
+        """
+        state = self._state[app.name]
+        if state.adaptive is not None:
+            # The hot-page scanner only ever waits on timeouts, so an
+            # interrupt is a clean exit (never mid-allocation).
+            scanner = state.adaptive._scanner
+            if scanner is not None and not scanner.fired:
+                scanner.interrupt("teardown")
+            for page in app.space.pages.values():
+                if page.owner_name == app.name and page.reserved_entry is not None:
+                    state.adaptive.release_on_free(page)
+        if state.uffd is not None:
+            # The uffd daemon is parked on its message store once the
+            # app's threads are done; interrupting there is clean too.
+            daemon = state.uffd._daemon
+            if daemon is not None and not daemon.fired:
+                daemon.interrupt("teardown")
+        freed = super()._teardown_app(app)
+        self.scheduler.unregister_app(app.name)
+        if self.rebalancer is not None:
+            self._rebalance_caches.pop(app.name, None)
+            self.rebalancer._baseline_total = sum(
+                c.capacity_pages for c in self._rebalance_caches.values()
+            )
+        if self.rack is not None:
+            # Only the private partition withdraws; the global one stays
+            # adopted for the apps still sharing it.
+            self.rack.withdraw(state.partition)
+        del self._state[app.name]
+        return freed
+
+    # ------------------------------------------------------------------
     # Policy hooks
     # ------------------------------------------------------------------
 

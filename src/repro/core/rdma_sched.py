@@ -132,6 +132,33 @@ class TwoDimensionalScheduler:
         self._apps[app_name] = _AppState(vqp=vqp, weight=weight)
         return vqp
 
+    def unregister_app(self, app_name: str) -> None:
+        """Drop a departed app from the fair-queuing roster.
+
+        The caller (teardown) guarantees the VQP is drained and no
+        request of this app is in flight, so removing the state cannot
+        strand a forwarded request: completions look the app up with
+        ``.get`` and tolerate absence.
+        """
+        self._apps.pop(app_name, None)
+
+    def set_weight(self, app_name: str, weight: float) -> None:
+        """Retune an app's WFQ share in place (the SLO control knob).
+
+        Finish tags are left untouched — the virtual clock catches the
+        app up on its next packet, so a weight change takes effect
+        smoothly instead of granting a burst of retroactive credit.
+        """
+        if weight <= 0:
+            raise ValueError(f"weight must be positive, got {weight}")
+        state = self._apps.get(app_name)
+        if state is not None:
+            state.weight = weight
+
+    def weight_of(self, app_name: str) -> float:
+        state = self._apps.get(app_name)
+        return state.weight if state is not None else 0.0
+
     def submit(self, app_name: str, request: RdmaRequest) -> None:
         self._apps[app_name].vqp.push(request)
         if request.op is RdmaOp.READ:

@@ -82,7 +82,21 @@ CACHE_STATS = CacheStats()
 
 
 def freeze(value):
-    """Recursively convert a config value into a hashable, ordered form."""
+    """Recursively convert a config value into a hashable, ordered form.
+
+    Nested config dataclasses (``FaultConfig``, ``ClusterConfig``,
+    ``TrafficConfig``, ``SloConfig``, ...) are expanded field by field —
+    with the class name as discriminator — so every knob lands in the
+    key explicitly rather than through ``repr`` happening to cover it,
+    and two different config types with equal fields can never collide.
+    """
+    import dataclasses
+
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
     if isinstance(value, dict):
         return tuple(sorted((k, freeze(v)) for k, v in value.items()))
     if isinstance(value, (list, set, tuple)):

@@ -24,6 +24,7 @@ from repro.baselines.fastswap import FastswapSystem
 from repro.baselines.infiniswap import InfiniswapSystem
 from repro.cluster import ClusterConfig, Rack
 from repro.core.canvas import CanvasConfig, CanvasSwapSystem
+from repro.core.slo import SloConfig, SloController
 from repro.faults import FaultConfig, make_plan
 from repro.harness.driver import run_to_completion, spawn_app
 from repro.harness.machine import Machine
@@ -40,8 +41,17 @@ from repro.prefetch.readahead import KernelReadahead
 from repro.swap.allocator import FreeListAllocator, Linux514Allocator
 from repro.workloads.base import Workload
 from repro.workloads.registry import make_workload
+from repro.workloads.traffic import TrafficConfig, TrafficSession, make_traffic_plan
 
-__all__ = ["ExperimentConfig", "AppResult", "ExperimentResult", "run_experiment"]
+__all__ = [
+    "ExperimentConfig",
+    "AppResult",
+    "ExperimentResult",
+    "run_experiment",
+    "ChurnResult",
+    "run_churn",
+    "churn_digest",
+]
 
 #: Paper §6: per-application core limits in co-run experiments.
 DEFAULT_CORES = {
@@ -128,6 +138,15 @@ class ExperimentConfig:
     #: Trace ring-buffer capacity in records; the oldest records are
     #: overwritten once full (``result.trace.truncated`` reports it).
     trace_capacity: int = 2_000_000
+    #: Open-loop traffic model (see :mod:`repro.workloads.traffic`):
+    #: sessions arrive, run, and unregister on a seeded curve.  Only
+    #: :func:`run_churn` reads it; ``None`` (or ``run_experiment``)
+    #: keeps the fixed-roster path byte-identical to before.
+    traffic: Optional[TrafficConfig] = None
+    #: SLO feedback loop (see :mod:`repro.core.slo`): p99 demand-fault
+    #: latency steered back into scheduler weights and the adaptive
+    #: allocator.  ``None`` runs without a controller.
+    slo: Optional[SloConfig] = None
 
     def cores_for(self, workload: Workload) -> int:
         if workload.name in self.cores_override:
@@ -433,3 +452,215 @@ def run_individual(
 ) -> ExperimentResult:
     """Run one application alone (the paper's 'individual run')."""
     return run_experiment([workload_name], config)
+
+
+# ----------------------------------------------------------------------
+# Traffic-driven churn: sessions arrive, run, and unregister.
+# ----------------------------------------------------------------------
+
+
+class ChurnResult:
+    """Everything a churn benchmark needs after a traffic-driven run.
+
+    ``apps`` holds every session's :class:`AppContext` — the contexts
+    outlive their unregistration (the system forgets them; the result
+    keeps them), so per-session stats stay readable after teardown.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        system: BaseSwapSystem,
+        plan,
+        apps: Dict[str, AppContext],
+        elapsed_us: float,
+        trace: Optional[TraceBuffer] = None,
+        rack: Optional[Rack] = None,
+        slo: Optional[SloController] = None,
+    ):
+        self.machine = machine
+        self.system = system
+        self.plan = plan
+        self.apps = apps
+        self.elapsed_us = elapsed_us
+        self.trace = trace
+        self.rack = rack
+        self.rack_stats = rack.stats if rack is not None else None
+        self.slo = slo
+        self.slo_stats = slo.stats if slo is not None else None
+        self.telemetry = machine.telemetry
+
+    def digest(self) -> str:
+        """Stable fingerprint of every simulated per-session outcome."""
+        import hashlib
+
+        payload = repr(
+            [
+                (
+                    name,
+                    app.stats.accesses,
+                    app.stats.faults,
+                    app.stats.swapouts,
+                    app.started_at_us,
+                    app.finished_at_us,
+                )
+                for name, app in sorted(self.apps.items())
+            ]
+            + [("elapsed", self.elapsed_us)]
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _session_stream(plan, session: TrafficSession, vma, batched: bool, cpu_us: float):
+    """One session's access stream (batched or scalar), VMA-offset."""
+    vpns, writes = plan.session_accesses(session)
+    vpns = vpns + vma.start_vpn
+    if batched:
+        from repro.workloads.batch import emit_batches
+
+        return emit_batches(vpns, writes, cpu_us)
+    return iter(
+        [(int(vpn), bool(write), cpu_us) for vpn, write in zip(vpns, writes)]
+    )
+
+
+def run_churn(config: ExperimentConfig) -> ChurnResult:
+    """Run one traffic-driven churn day: arrive → run → unregister.
+
+    Every session is one single-core cgroup whose lifetime is one engine
+    process: sleep until its seeded arrival, build + register + warm the
+    cgroup, run its access stream, then tear the cgroup down through
+    ``unregister_app``.  With every session departing, the end state
+    must be leak-free — the churn invariant tests assert it on the live
+    system this returns.
+    """
+    if config.traffic is None:
+        raise ValueError("run_churn needs config.traffic (a TrafficConfig)")
+    plan = make_traffic_plan(config.traffic, config.seed)
+    traffic = config.traffic
+
+    from repro.rdma.nic import DEFAULT_BANDWIDTH_BYTES_PER_US
+
+    bandwidth = DEFAULT_BANDWIDTH_BYTES_PER_US * config.bandwidth_scale
+    machine = Machine(
+        seed=config.seed,
+        telemetry_bin_us=config.telemetry_bin_us,
+        read_bandwidth_bytes_per_us=bandwidth,
+        write_bandwidth_bytes_per_us=bandwidth,
+    )
+    engine = machine.engine
+
+    sizing = []
+    total_remote = 0
+    for session in plan.sessions:
+        ws = session.working_set_pages
+        local = session.local_memory_pages
+        headroom = max(32, int(ws * config.partition_headroom))
+        remote = max(64, ws - local + headroom)
+        total_remote += remote
+        sizing.append(remote)
+
+    system = _build_system(machine, config, max(4096, total_remote))
+    is_canvas = isinstance(system, CanvasSwapSystem)
+
+    rack = None
+    if config.cluster is not None:
+        rack = Rack(engine, machine.nic, config.cluster, seed=config.seed)
+        system.rack = rack
+        shared_partition = getattr(system, "partition", None)
+        if shared_partition is not None:
+            rack.adopt(system, shared_partition, getattr(system, "allocator", None))
+    fault_plan = make_plan(config.fault_config, config.seed)
+    if fault_plan is not None:
+        machine.nic.fault_plan = fault_plan
+        system.fault_plan = fault_plan
+        if rack is not None:
+            rack.schedule_plan(fault_plan)
+
+    tracer = None
+    if config.trace:
+        tracer = TraceBuffer(engine, capacity=config.trace_capacity)
+        system.attach_tracer(tracer)
+
+    slo = None
+    if config.slo is not None:
+        slo = SloController(engine, system, machine.telemetry, config.slo)
+
+    # The baseline shared swap cache cannot follow per-app pool sums the
+    # way the fixed-roster harness does (the population changes); size it
+    # for the whole day's peak instead.
+    if not is_canvas:
+        system.cache.capacity_pages = max(
+            256, sum(s.local_memory_pages for s in plan.sessions) // 4
+        )
+
+    apps: Dict[str, AppContext] = {}
+    session_procs = []
+
+    def session_lifecycle(session: TrafficSession, remote_pages: int):
+        yield engine.sleep(session.arrive_us)
+        cgroup = CgroupConfig(
+            name=session.name,
+            n_cores=1,
+            local_memory_pages=session.local_memory_pages,
+            swap_partition_pages=remote_pages if is_canvas else None,
+            swap_cache_pages=max(
+                16,
+                int(session.local_memory_pages * config.swap_cache_fraction),
+            ),
+            rdma_weight=float(remote_pages),
+        )
+        app = AppContext(engine, cgroup, flat_state=config.batched_streams)
+        vma = app.space.map_region(session.working_set_pages, name="heap")
+        system.register_app(app)
+        apps[session.name] = app
+        resident_fraction = min(
+            0.999
+            * session.local_memory_pages
+            / session.working_set_pages
+            * 0.85,
+            1.0,
+        )
+        system.prepopulate(app, resident_fraction)
+        stream = _session_stream(
+            plan,
+            session,
+            vma,
+            config.batched_streams,
+            traffic.cpu_us_per_access,
+        )
+        proc = spawn_app(
+            system,
+            app,
+            [stream],
+            cpu_flush_us=config.cpu_flush_us,
+            batched=config.batched_streams,
+        )
+        yield proc
+        yield from system.unregister_app(app)
+
+    for session, remote_pages in zip(plan.sessions, sizing):
+        session_procs.append(
+            engine.spawn(
+                session_lifecycle(session, remote_pages),
+                name=f"{session.name}.lifecycle",
+            )
+        )
+
+    elapsed = run_to_completion(engine, session_procs, limit_us=config.limit_us)
+    return ChurnResult(
+        machine,
+        system,
+        plan,
+        apps,
+        elapsed,
+        trace=tracer,
+        rack=rack,
+        slo=slo,
+    )
+
+
+def churn_digest(config: ExperimentConfig) -> str:
+    """Run one churn day and return only its digest (pickles trivially,
+    so parallel determinism tests fan it out over worker processes)."""
+    return run_churn(config).digest()

@@ -34,6 +34,8 @@ from repro.kernel.cgroup import AppContext
 from repro.kernel.telemetry import Telemetry
 from repro.mem.page import Page
 from repro.obs.trace import (
+    APP_REGISTER,
+    APP_UNREGISTER,
     BATCH_ENTER,
     BATCH_EXIT,
     CLEAN_DROP,
@@ -167,6 +169,13 @@ class BaseSwapSystem:
         self._kswapd_kick: Dict[str, Optional[Event]] = {}
         #: Reusable kswapd park event per app (reset after each wakeup).
         self._kswapd_park: Dict[str, Event] = {}
+        #: kswapd Process handles, so teardown can wait for a clean exit.
+        self._kswapd_proc: Dict[str, object] = {}
+        #: Teardown flags: ``_kswapd_loop`` re-checks its app's flag at
+        #: the top of every round and exits once it turns True.  A plain
+        #: host-side dict read, so runs that never unregister stay
+        #: bit-identical to the flagless loop.
+        self._kswapd_stop: Dict[str, bool] = {}
         #: Free list of recycled RdmaRequests (and their completion
         #: events); refilled via the engine's immediate lane strictly
         #: after each completion dispatch or dropped-request unwind.
@@ -401,7 +410,12 @@ class BaseSwapSystem:
                 prefetcher.note_region(app.name, vma.start_vpn, vma.end_vpn)
         self._kswapd_kick[app.name] = None
         self._kswapd_park[app.name] = Event(self.engine, f"kswapd.{app.name}.kick")
-        self.engine.spawn(self._kswapd_loop(app), name=f"kswapd.{app.name}")
+        self._kswapd_stop[app.name] = False
+        self._kswapd_proc[app.name] = self.engine.spawn(
+            self._kswapd_loop(app), name=f"kswapd.{app.name}"
+        )
+        if self.trace is not None:
+            self.trace.emit(APP_REGISTER, app.name, 0, len(app.space.pages), 0)
 
     def prepopulate(self, app: AppContext, resident_fraction: float) -> None:
         """Install the initial memory layout: the first ``resident_fraction``
@@ -423,6 +437,105 @@ class BaseSwapSystem:
                 entry = allocator.take_free_untimed()
                 entry.stored_vpn = page.vpn
                 page.swap_entry = entry
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+
+    def unregister_app(self, app: AppContext) -> Generator:
+        """Tear an application down; drive with ``yield from`` in a process.
+
+        The mirror of :meth:`register_app`, run after the app's threads
+        have finished: stop its kswapd, drain every in-flight transfer
+        it still owns, then sweep its pages — releasing swap-cache
+        slots, uncharging frames, and freeing swap entries back through
+        the allocator (rack-aware: condemned entries retire inside
+        ``free``).  Subclasses extend the synchronous sweep via
+        :meth:`_teardown_app`.  kswapd is never interrupted mid-round —
+        it may hold the allocator lock — so shutdown raises the stop
+        flag, kicks the park, and waits for the loop's clean exit.
+
+        On return the app has no residual frame charge, no live swap
+        entries, and no waiter parked on its pages; a leak raises
+        ``RuntimeError`` rather than lingering silently.
+        """
+        name = app.name
+        if self.apps.get(name) is not app:
+            raise ValueError(f"app {name!r} is not registered")
+        self._kswapd_stop[name] = True
+        kick = self._kswapd_kick.get(name)
+        if kick is not None and not kick.fired:
+            kick.succeed()
+        proc = self._kswapd_proc.get(name)
+        if proc is not None and not proc.fired:
+            yield proc
+        # Drain barrier: every writeback, prefetch, and demand read the
+        # app still owns must complete (or error out and unwind) before
+        # the sweep frees the entries they reference.
+        while (
+            app.outstanding_writebacks > 0
+            or app.inflight_prefetches > 0
+            or any(page.owner_name == name for page in self._inflight)
+        ):
+            yield self.engine.sleep(10.0)
+        freed = self._teardown_app(app)
+        self._kswapd_stop.pop(name, None)
+        self._kswapd_proc.pop(name, None)
+        self._kswapd_kick.pop(name, None)
+        self._kswapd_park.pop(name, None)
+        del self.apps[name]
+        if self.trace is not None:
+            self.trace.emit(
+                APP_UNREGISTER, name, 0, len(app.space.pages), freed
+            )
+        if app.pool.used != 0:
+            raise RuntimeError(
+                f"{name}: {app.pool.used} frame(s) still charged after teardown"
+            )
+
+    def _teardown_app(self, app: AppContext) -> int:
+        """Synchronous teardown sweep (runs after the drain barrier).
+
+        Returns the number of swap entries freed.  Subclasses extend it
+        (Canvas: reservation release, scheduler/rebalancer/rack
+        unregistration) and must call ``super()._teardown_app(app)``
+        while their per-app policy state is still reachable, because
+        the sweep dispatches through ``_cache_for``/``_release_entry``.
+
+        Pages owned by another app (shared mappings faulted here) are
+        left untouched: their charges and entries belong to the owner,
+        which releases them at its own teardown.
+        """
+        name = app.name
+        prefetcher = self._prefetcher_for(app)
+        if prefetcher is not None:
+            prefetcher.forget_app(name)
+        freed = 0
+        for page in app.space.pages.values():
+            if page.owner_name != name:
+                continue
+            event = self._inflight.pop(page, None)
+            if event is not None and not event.fired:
+                event.succeed()  # wake stale waiters; I/O already drained
+            self._inflight_req.pop(page, None)
+            if page.in_swap_cache and page.swap_entry is not None:
+                cache = self._cache_for(app, page)
+                if cache.discard(page.swap_entry) is not None:
+                    app.pool.uncharge(1)
+            if page.resident:
+                app.lru.discard(page)
+                page.resident = False
+                app.pool.uncharge(1)
+            entry = page.swap_entry
+            if entry is not None:
+                if entry.allocated:
+                    self._release_entry(app, page, entry)
+                    freed += 1
+                page.swap_entry = None
+            page.locked = False
+            page.prefetched = False
+            page.prefetch_timestamp_us = None
+        return freed
 
     # ------------------------------------------------------------------
     # Access fast path
@@ -1572,7 +1685,11 @@ class BaseSwapSystem:
 
     def _kswapd_loop(self, app: AppContext) -> Generator:
         park = self._kswapd_park[app.name]
-        while True:
+        stop = self._kswapd_stop
+        # The stop flag is a host-side dict read: runs that never
+        # unregister take the identical yield sequence as the flagless
+        # ``while True`` loop (digest-pinned by the teardown A/B tests).
+        while not stop.get(app.name, False):
             if app.pool.reclaim_target() <= 0:
                 self._kswapd_kick[app.name] = park
                 yield park

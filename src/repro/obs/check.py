@@ -33,6 +33,13 @@ Rules (names are the ``Violation.rule`` values):
   and no group is left open at end of trace.  Grouped reclaim emits on
   the sentinel ``RECLAIM_LANE``, so concurrent direct-reclaim evictions
   (real thread lanes) never pollute the count.
+* ``app-lifecycle`` — after an ``APP_UNREGISTER`` record, no further
+  record may reference that app until a fresh ``APP_REGISTER``
+  (re-arrival under the same name is legal), and the unregister itself
+  must find the app quiescent: no open fault, parked waiter, batch run,
+  fault group, or reclaim group.  This is the teardown leak lint —
+  a stray completion, prefetch, or eviction attributed to a departed
+  app means its teardown failed to drain or cancel something.
 
 On a truncated trace (the ring wrapped), missing-*predecessor* findings
 are suppressed — the predecessor may simply have been overwritten — but
@@ -46,6 +53,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.obs.trace import (
+    APP_REGISTER,
+    APP_UNREGISTER,
     BATCH_ENTER,
     BATCH_EXIT,
     ENTRY_ALLOC,
@@ -68,6 +77,7 @@ from repro.obs.trace import (
     RETRANSMIT,
     WIRE_DROP,
     WIRE_ERROR,
+    KIND_NAMES,
     TraceRecord,
 )
 
@@ -84,6 +94,7 @@ RULES = [
     "batch-pairing",
     "group-pairing",
     "reclaim-group-pairing",
+    "app-lifecycle",
 ]
 
 
@@ -109,10 +120,13 @@ def check_trace(
     # completion-before-issue state: request id -> (enq_t, serve_t).
     enq_t: Dict[int, float] = {}
     serve_t: Dict[int, float] = {}
-    # entry alloc/free alternation: entry id -> "allocated" | "free".
-    # Entries first seen mid-life (prepopulation happens before tracing
-    # hooks see them) start untracked and adopt whichever state appears.
-    entry_state: Dict[int, str] = {}
+    # entry alloc/free alternation: (allocator, entry id) -> "allocated"
+    # | "free".  Keyed by allocator name (the record's arg) as well as
+    # id because per-app partitions (Canvas) each number their entries
+    # from zero — the id alone collides across partitions.  Entries
+    # first seen mid-life (allocated before tracing was attached) start
+    # untracked and adopt whichever state appears.
+    entry_state: Dict[Tuple[object, int], str] = {}
     # retransmit accounting: request id -> injected faults seen so far.
     fault_count: Dict[int, int] = {}
     rtx_count: Dict[int, int] = {}
@@ -129,8 +143,78 @@ def check_trace(
     group_open: Dict[Tuple[str, int], List] = {}
     # open reclaim groups: (app, lane) -> [planned, evicts_seen, t].
     reclaim_open: Dict[Tuple[str, int], List] = {}
+    # departed apps: app -> unregister time (cleared by re-registration).
+    unregistered: Dict[str, float] = {}
 
     for t, kind, app, thread, key, arg in records:
+        if kind == APP_REGISTER:
+            unregistered.pop(app, None)
+        elif kind == APP_UNREGISTER:
+            for (open_app, open_thread), (vpn, _pt) in parked.items():
+                if open_app == app:
+                    violations.append(
+                        Violation(
+                            "app-lifecycle",
+                            t,
+                            app,
+                            f"unregistered while thread {open_thread} is "
+                            f"still parked on vpn {vpn:#x}",
+                        )
+                    )
+            for (open_app, open_thread), (vpn, _ft) in fault_open.items():
+                if open_app == app:
+                    violations.append(
+                        Violation(
+                            "app-lifecycle",
+                            t,
+                            app,
+                            f"unregistered while thread {open_thread}'s "
+                            f"fault at vpn {vpn:#x} is still open",
+                        )
+                    )
+            if app in batch_open:
+                violations.append(
+                    Violation(
+                        "app-lifecycle",
+                        t,
+                        app,
+                        "unregistered with a batch run still open",
+                    )
+                )
+            for (open_app, open_thread) in group_open:
+                if open_app == app:
+                    violations.append(
+                        Violation(
+                            "app-lifecycle",
+                            t,
+                            app,
+                            f"unregistered while thread {open_thread}'s "
+                            f"fault group is still open",
+                        )
+                    )
+            for (open_app, lane) in reclaim_open:
+                if open_app == app:
+                    violations.append(
+                        Violation(
+                            "app-lifecycle",
+                            t,
+                            app,
+                            f"unregistered while lane {lane}'s reclaim "
+                            f"group is still open",
+                        )
+                    )
+            unregistered[app] = t
+            continue
+        elif app and app in unregistered:
+            violations.append(
+                Violation(
+                    "app-lifecycle",
+                    t,
+                    app,
+                    f"{KIND_NAMES.get(kind, kind)} record after the app "
+                    f"unregistered at {unregistered[app]:.3f}us",
+                )
+            )
         if kind == QP_ENQ:
             enq_t[key] = t
             serve_t.pop(key, None)
@@ -179,27 +263,27 @@ def check_trace(
                 )
             enq_t.pop(key, None)
         elif kind == ENTRY_ALLOC:
-            if entry_state.get(key) == "allocated":
+            if entry_state.get((arg, key)) == "allocated":
                 violations.append(
                     Violation(
                         "entry-double-alloc",
                         t,
                         app,
-                        f"entry {key} allocated while already allocated",
+                        f"entry {key} ({arg}) allocated while already allocated",
                     )
                 )
-            entry_state[key] = "allocated"
+            entry_state[(arg, key)] = "allocated"
         elif kind == ENTRY_FREE:
-            if entry_state.get(key) == "free":
+            if entry_state.get((arg, key)) == "free":
                 violations.append(
                     Violation(
                         "entry-double-free",
                         t,
                         app,
-                        f"entry {key} freed while already free",
+                        f"entry {key} ({arg}) freed while already free",
                     )
                 )
-            entry_state[key] = "free"
+            entry_state[(arg, key)] = "free"
         elif kind in (WIRE_DROP, WIRE_ERROR):
             fault_count[key] = fault_count.get(key, 0) + 1
         elif kind == RETRANSMIT:

@@ -103,12 +103,23 @@ RACK_REHOME = 40  # page re-homed; key = old entry id, arg = new server id
 RACK_MIGRATE = 41  # migration transfer resolved; key = entry id, arg = op
 RACK_RETIRE = 42  # entry withdrawn; key = entry id, arg = server id
 
+# App lifecycle (kernel/swap_system.py); key = mapped pages at the event.
+APP_REGISTER = 43  # app registered with the swap system
+APP_UNREGISTER = 44  # teardown complete; arg: entries freed by the sweep
+
 #: Thread lane for grouped-reclaim trace records.  kswapd shares core 0
 #: with direct-reclaiming fault threads, so its grouped rounds emit on
 #: this sentinel lane instead — the reclaim-group-pairing lint can then
 #: count a group's EVICTs without catching concurrent direct-reclaim
 #: evictions interleaved at the same instants.
 RECLAIM_LANE = -1
+
+#: Perfetto tid the sentinel lane renders on.  Chrome trace viewers sort
+#: and colour threads by tid and a negative tid renders as a bogus
+#: pseudo-thread, so the exporter remaps RECLAIM_LANE records onto this
+#: dedicated positive lane (kept below the RDMA lanes at 1000+) with a
+#: proper thread name instead of passing -1 through.
+KSWAPD_LANE = 900
 
 KIND_NAMES = {
     FAULT_BEGIN: "fault_begin",
@@ -154,6 +165,8 @@ KIND_NAMES = {
     RACK_REHOME: "rack_rehome",
     RACK_MIGRATE: "rack_migrate",
     RACK_RETIRE: "rack_retire",
+    APP_REGISTER: "app_register",
+    APP_UNREGISTER: "app_unregister",
 }
 
 
@@ -262,6 +275,8 @@ _INSTANT_KINDS = {
     FAULT_GROUP_END,
     RECLAIM_GROUP_BEGIN,
     RECLAIM_GROUP_END,
+    APP_REGISTER,
+    APP_UNREGISTER,
 }
 
 
@@ -276,6 +291,7 @@ def to_chrome_trace(records: List[TraceRecord]) -> dict:
     """
     pids: Dict[str, int] = {}
     events: List[dict] = []
+    kswapd_named: set = set()
 
     def pid_of(app: str) -> int:
         pid = pids.get(app)
@@ -291,6 +307,20 @@ def to_chrome_trace(records: List[TraceRecord]) -> dict:
                 }
             )
         return pid
+
+    def kswapd_lane(pid: int) -> int:
+        if pid not in kswapd_named:
+            kswapd_named.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": KSWAPD_LANE,
+                    "args": {"name": "kswapd (grouped reclaim)"},
+                }
+            )
+        return KSWAPD_LANE
 
     # RDMA lifecycle state: request id -> (enqueue_t, serve_t).
     enq_t: Dict[int, float] = {}
@@ -359,11 +389,14 @@ def to_chrome_trace(records: List[TraceRecord]) -> dict:
                     }
                 )
         elif kind in _INSTANT_KINDS:
-            lane = (
-                _RDMA_LANE_BASE + key % _RDMA_LANES
-                if kind in (WIRE_DROP, WIRE_ERROR, RETRANSMIT, QP_DROP_SKIP)
-                else thread
-            )
+            if kind in (WIRE_DROP, WIRE_ERROR, RETRANSMIT, QP_DROP_SKIP):
+                lane = _RDMA_LANE_BASE + key % _RDMA_LANES
+            elif thread == RECLAIM_LANE:
+                # Grouped-reclaim sentinel: render on the named kswapd
+                # lane instead of a bogus tid=-1 pseudo-thread.
+                lane = kswapd_lane(pid)
+            else:
+                lane = thread
             events.append(
                 {
                     "ph": "i",
@@ -432,6 +465,16 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
                 "lru_epochs": 0,
                 "fault_groups": 0,
                 "reclaim_groups": 0,
+                # Background-reclaim share of the totals above: records
+                # emitted on the grouped-reclaim sentinel lane, kept out
+                # of any per-thread attribution.  evictions/clean_drops/
+                # writebacks stay whole-app totals; these break out how
+                # much of each came from kswapd's grouped rounds.
+                "kswapd_evictions": 0,
+                "kswapd_clean_drops": 0,
+                "kswapd_writebacks": 0,
+                "app_registers": 0,
+                "app_unregisters": 0,
             }
         return entry
 
@@ -456,6 +499,14 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
         LRU_EPOCH: "lru_epochs",
         FAULT_GROUP_BEGIN: "fault_groups",
         RECLAIM_GROUP_BEGIN: "reclaim_groups",
+        APP_REGISTER: "app_registers",
+        APP_UNREGISTER: "app_unregisters",
+    }
+
+    kswapd_counters = {
+        EVICT: "kswapd_evictions",
+        CLEAN_DROP: "kswapd_clean_drops",
+        WB_ISSUE: "kswapd_writebacks",
     }
 
     for t, kind, app, thread, key, arg in records:
@@ -463,6 +514,10 @@ def summarize_trace(records: List[TraceRecord]) -> Dict[str, Dict[str, float]]:
         if entry["first_us"] is None:
             entry["first_us"] = t
         entry["last_us"] = t
+        if thread == RECLAIM_LANE:
+            name = kswapd_counters.get(kind)
+            if name is not None:
+                entry[name] += 1
         if kind == FAULT_BEGIN:
             entry["faults"] += 1
             fault_open[(app, thread)] = t

@@ -46,6 +46,14 @@ class Prefetcher:
         their proposals to mapped memory.  The base policy ignores it.
         """
 
+    def forget_app(self, app_name: str) -> None:
+        """Drop every mapping and pattern keyed by a departed app.
+
+        Teardown calls this so stale VMAs can never clamp-pass (or seed
+        a stride toward) a freed address space.  The base policy keeps
+        no per-app state, so there is nothing to drop.
+        """
+
     def on_fault(
         self,
         app_name: str,

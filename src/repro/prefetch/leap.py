@@ -73,6 +73,21 @@ class LeapPrefetcher(Prefetcher):
     def _key(self, app_name: str) -> str:
         return app_name if self.per_app_history else "__global__"
 
+    def forget_app(self, app_name: str) -> None:
+        """Drop a departed app's private trend state.
+
+        Only per-app histories can be excised; in the shared-window
+        baseline the app's deltas are already mixed into the global vote
+        (exactly the pollution Fig. 3 is about) and age out naturally.
+        """
+        if not self.per_app_history:
+            return
+        self._histories.pop(app_name, None)
+        self._prev_vpn.pop(app_name, None)
+        self._window.pop(app_name, None)
+        self._counts.pop(app_name, None)
+        self._majority.pop(app_name, None)
+
     def _push_delta(self, key: str, history: Deque[int], delta: int) -> None:
         """Slide ``delta`` into the window, updating tallies and majority.
 

@@ -69,11 +69,29 @@ class KernelReadahead(Prefetcher):
         self._buckets: Dict[Tuple[str, int], _BucketState] = {}
         #: Mapped VPN ranges per app, as sorted ``(start, end)`` pairs.
         self._regions: Dict[str, List[Tuple[int, int]]] = {}
+        #: Apps explicitly unregistered: clamp drops *all* their
+        #: proposals (unlike a never-registered app, which keeps the
+        #: permissive legacy fallback below).
+        self._forgotten: set = set()
 
     def note_region(self, app_name: str, start_vpn: int, end_vpn: int) -> None:
+        self._forgotten.discard(app_name)
         regions = self._regions.setdefault(app_name, [])
         regions.append((start_vpn, end_vpn))
         regions.sort()
+
+    def forget_app(self, app_name: str) -> None:
+        """Unmap a departed app: drop its VMAs and bucket state.
+
+        Without this the clamp's unknown-mapping fallback would keep
+        letting proposals through at freed addresses (the old line-92
+        workaround); forgotten apps now clamp to nothing until a fresh
+        ``note_region`` re-registers them.
+        """
+        self._regions.pop(app_name, None)
+        self._forgotten.add(app_name)
+        for key in [k for k in self._buckets if k[0] == app_name]:
+            del self._buckets[key]
 
     def _clamp(self, app_name: str, vpn: int, proposals: List[int]) -> List[int]:
         """Drop proposed VPNs outside the VMA containing the fault.
@@ -83,13 +101,19 @@ class KernelReadahead(Prefetcher):
         negative (or foreign) VPNs that would fault the simulator on
         pages the app never mapped.
         """
+        if app_name in self._forgotten:
+            # Explicitly unregistered: its address space is freed, so no
+            # proposal may target it.
+            self.stats.proposals_clamped += len(proposals)
+            return []
         bounds = None
         for start, end in self._regions.get(app_name, ()):
             if start <= vpn < end:
                 bounds = (start, end)
                 break
         if bounds is None:
-            # Unknown mapping (unregistered app): only drop impossible VPNs.
+            # Unknown mapping (never-registered app): only drop
+            # impossible VPNs.
             kept = [p for p in proposals if p >= 0]
         else:
             start, end = bounds

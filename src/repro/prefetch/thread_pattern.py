@@ -38,6 +38,12 @@ class ThreadPatternPrefetcher(Prefetcher):
         self._prev_vpn: Dict[Tuple[str, int], int] = {}
         self._window: Dict[Tuple[str, int], int] = {}
 
+    def forget_app(self, app_name: str) -> None:
+        """Drop every thread window of a departed app."""
+        for table in (self._histories, self._prev_vpn, self._window):
+            for key in [k for k in table if k[0] == app_name]:
+                del table[key]
+
     def observe(self, app_name: str, thread_id: int, vpn: int) -> None:
         """Feed one faulting address without producing a proposal."""
         key = (app_name, thread_id)

@@ -96,11 +96,14 @@ class EntryAllocator:
         self.partition = partition
         self.name = name or f"{partition.name}.alloc"
         self.stats = AllocatorStats()
-        #: Optional :class:`repro.obs.TraceBuffer`.  ``allocate`` emits
-        #: ENTRY_ALLOC when it hands an entry out and ``free`` emits
-        #: ENTRY_FREE, so alloc/free alternation per entry is checkable
-        #: post-hoc.  ``take_free_untimed`` (experiment setup) stays
-        #: untraced: prepopulation happens outside simulated time.
+        #: Optional :class:`repro.obs.TraceBuffer`.  Every path that
+        #: hands an entry out — ``allocate`` and ``take_free_untimed``
+        #: alike — emits ENTRY_ALLOC, and ``free`` emits ENTRY_FREE, so
+        #: alloc/free alternation per entry is checkable post-hoc.
+        #: (``take_free_untimed`` charges no simulated time, but under
+        #: churn a late-arriving app prepopulates mid-trace and may be
+        #: handed a just-freed entry; leaving setup untraced would make
+        #: its eventual free look like a double free.)
         self.tracer = None
         #: Optional :class:`repro.cluster.Rack`.  When set, ``free``
         #: consults the rack so entries homed on a dead or draining
@@ -144,7 +147,9 @@ class EntryAllocator:
 
     def take_free_untimed(self) -> SwapEntry:
         """Grab an entry outside simulated time (experiment setup only)."""
-        return self.partition.pop_free()
+        entry = self.partition.pop_free()
+        self._trace_alloc(entry)
+        return entry
 
     def free(self, entry: SwapEntry) -> None:
         """Return an entry to its partition's free pool (not timed)."""
@@ -410,6 +415,7 @@ class PerCoreClusterAllocator(EntryAllocator):
                 entry = cluster.free.pop()
                 entry.allocated = True
                 self._allocated += 1
+                self._trace_alloc(entry)
                 return entry
         raise RuntimeError(f"{self.name}: all clusters exhausted")
 

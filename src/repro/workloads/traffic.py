@@ -1,0 +1,298 @@
+"""Open-loop traffic: apps arrive, grow, shrink, and depart on curves.
+
+The paper evaluates a fixed roster of co-running applications; real
+multi-tenant hosts see a *population* that breathes — sessions arrive on
+a diurnal intensity curve, sessions launched near the peak are bigger
+(the population's working set grows into the peak and shrinks out of
+it), and every session eventually departs, exercising the teardown path
+under load.
+
+Like :mod:`repro.faults`, everything here is a **pure function of
+``(config, seed)``**: :class:`TrafficPlan` materializes the full session
+schedule up front from seeded numpy streams, so two runs with the same
+seed produce bit-identical digests, and a run driven by a zero-session
+plan is bit-identical to a run with no plan at all.
+
+Model
+-----
+* **Arrivals** are drawn by inverse-CDF sampling from a normalized
+  intensity curve over one simulated "day": sorted uniform quantiles are
+  mapped through the discretized cumulative curve, so n sessions land
+  with density proportional to the instantaneous intensity (an open-loop
+  arrival process — nothing about the system's state feeds back into
+  the schedule).
+* **Curves**: ``diurnal`` (one smooth peak), ``bursty`` (diurnal with
+  seeded narrow bursts superimposed), ``flash-crowd`` (a quiet baseline
+  with one tall spike), ``constant`` (uniform arrivals, the control).
+* **Grow/shrink**: a session's working set and access count scale with
+  the curve value at its arrival instant, so the aggregate footprint
+  tracks the curve up and back down.
+* **Departure** is work-driven, as in an open-loop closed session: a
+  session runs its access stream to completion, then unregisters.  The
+  harness (``run_churn``) owns the register → run → unregister
+  mechanics; this module only decides *who arrives when, how big*.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.rng import derive_seed
+
+__all__ = [
+    "CURVES",
+    "TrafficConfig",
+    "TrafficSession",
+    "TrafficPlan",
+    "TRAFFIC_SCENARIOS",
+    "traffic_scenario_config",
+    "make_traffic_plan",
+]
+
+CURVES = ("diurnal", "bursty", "flash-crowd", "constant")
+
+#: Resolution of the discretized intensity curve used for inverse-CDF
+#: arrival sampling (bins per day).
+_CURVE_BINS = 1024
+
+
+@dataclass(frozen=True)
+class TrafficConfig:
+    """One traffic scenario's knobs.
+
+    Frozen for the same reason :class:`~repro.faults.FaultConfig` is:
+    the config sits inside an ``ExperimentConfig`` and feeds the result
+    cache's repr-based job key.
+    """
+
+    #: Root seed for the plan's RNG streams; ``None`` derives one from
+    #: the experiment seed so churn digests stay seed-stable.
+    traffic_seed: Optional[int] = None
+    #: One of :data:`CURVES`.
+    curve: str = "diurnal"
+    #: Sessions over one day (each is one cgroup: arrive → run → depart).
+    n_sessions: int = 32
+    #: Length of the simulated day the arrivals are spread over.
+    day_us: float = 100_000.0
+    #: Trough intensity as a fraction of peak (diurnal floor).
+    base_intensity: float = 0.2
+    #: Superimposed bursts (``bursty``/``flash-crowd`` place these).
+    n_bursts: int = 0
+    #: Burst width as a fraction of the day.
+    burst_width_frac: float = 0.03
+    #: Burst height relative to the diurnal peak.
+    burst_gain: float = 4.0
+
+    # -- per-session sizing -----------------------------------------------
+    #: Mean working set per session, in pages.
+    working_set_pages: int = 48
+    #: Grow/shrink amplitude: a session arriving at the curve's peak is
+    #: up to this much bigger than the mean, at the trough this much
+    #: smaller (fraction of the mean).
+    elasticity: float = 0.5
+    #: Mean accesses per session (scales with the curve like the
+    #: working set, plus per-session jitter).
+    accesses_mean: int = 4_000
+    #: Uniform per-session jitter on the access count (fraction).
+    accesses_jitter: float = 0.5
+    write_fraction: float = 0.3
+    #: Every Nth session runs above its local memory, keeping demand
+    #: faults and reclaim in the mix (0 disables pressure entirely).
+    pressured_every: int = 4
+    #: Local memory as a multiple of the working set for unpressured
+    #: sessions (>1: pure resident fast path after warmup)...
+    local_headroom: float = 1.3
+    #: ...and as a fraction of it for pressured ones (<1: faults).
+    pressured_local_fraction: float = 0.75
+    #: CPU attached to each access.
+    cpu_us_per_access: float = 0.05
+
+    def __post_init__(self):
+        if self.curve not in CURVES:
+            raise ValueError(f"unknown curve {self.curve!r}; known: {CURVES}")
+        if self.n_sessions < 0:
+            raise ValueError(f"n_sessions must be >= 0, got {self.n_sessions}")
+        if self.day_us <= 0:
+            raise ValueError(f"day_us must be positive, got {self.day_us}")
+        if not 0.0 < self.base_intensity <= 1.0:
+            raise ValueError("base_intensity must be in (0, 1]")
+        if self.elasticity < 0 or self.elasticity >= 1.0:
+            raise ValueError("elasticity must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class TrafficSession:
+    """One materialized session: who arrives when, how big."""
+
+    index: int
+    name: str
+    arrive_us: float
+    #: Curve value at the arrival instant, in [0, 1] (recorded so tests
+    #: and the SLO controller can correlate size with load).
+    intensity: float
+    working_set_pages: int
+    local_memory_pages: int
+    accesses: int
+    pressured: bool
+
+
+class TrafficPlan:
+    """A fully materialized arrival schedule: pure function of (config, seed)."""
+
+    def __init__(self, config: TrafficConfig, seed: int = 0):
+        self.config = config
+        self.seed = (
+            config.traffic_seed
+            if config.traffic_seed is not None
+            else derive_seed(seed, "traffic")
+        )
+        rng = np.random.default_rng(derive_seed(self.seed, "arrivals"))
+        # Burst placement draws first, in a fixed order, so sizing
+        # jitter never perturbs where bursts land.
+        self._bursts = self._place_bursts(rng)
+        curve = self._intensity_bins()
+        cdf = np.cumsum(curve)
+        cdf /= cdf[-1]
+        quantiles = np.sort(rng.random(config.n_sessions))
+        bin_of = np.searchsorted(cdf, quantiles)
+        sessions = []
+        for index in range(config.n_sessions):
+            phase = (float(bin_of[index]) + rng.random()) / _CURVE_BINS
+            arrive = phase * config.day_us
+            intensity = min(1.0, self._intensity(phase))
+            scale = 1.0 + config.elasticity * (2.0 * intensity - 1.0)
+            jitter = 1.0 + config.accesses_jitter * (2.0 * rng.random() - 1.0)
+            ws = max(16, int(round(config.working_set_pages * scale)))
+            accesses = max(64, int(round(config.accesses_mean * scale * jitter)))
+            pressured = (
+                config.pressured_every > 0
+                and index % config.pressured_every == 0
+            )
+            if pressured:
+                local = max(8, int(ws * config.pressured_local_fraction))
+            else:
+                local = max(8, int(ws * config.local_headroom))
+            sessions.append(
+                TrafficSession(
+                    index=index,
+                    name=f"sess{index:04d}",
+                    arrive_us=arrive,
+                    intensity=intensity,
+                    working_set_pages=ws,
+                    local_memory_pages=local,
+                    accesses=accesses,
+                    pressured=pressured,
+                )
+            )
+        self.sessions: Tuple[TrafficSession, ...] = tuple(sessions)
+
+    # -- curve --------------------------------------------------------------
+
+    def _place_bursts(self, rng: np.random.Generator) -> Tuple[Tuple[float, float], ...]:
+        config = self.config
+        if config.curve == "flash-crowd":
+            n = max(1, config.n_bursts)
+        elif config.curve == "bursty":
+            n = config.n_bursts if config.n_bursts > 0 else 3
+        else:
+            n = 0
+        return tuple(
+            (float(rng.random()), config.burst_width_frac) for _ in range(n)
+        )
+
+    def _intensity(self, phase: float) -> float:
+        """Arrival intensity at ``phase`` in [0, 1), normalized to [0, 1]."""
+        config = self.config
+        base = config.base_intensity
+        if config.curve == "constant":
+            return 1.0
+        if config.curve == "flash-crowd":
+            diurnal = base
+        else:
+            # One smooth peak centered mid-day.
+            diurnal = base + (1.0 - base) * 0.5 * (
+                1.0 - math.cos(2.0 * math.pi * phase)
+            )
+        spike = 0.0
+        for center, width in self._bursts:
+            distance = abs(phase - center)
+            distance = min(distance, 1.0 - distance)  # day wraps
+            if distance < width:
+                spike = max(
+                    spike, config.burst_gain * (1.0 - distance / width)
+                )
+        # Unclamped: a burst's arrival *density* may exceed the diurnal
+        # peak (that is what makes it a burst); per-session sizing clamps
+        # to [0, 1] separately.
+        return diurnal + spike
+
+    def _intensity_bins(self) -> np.ndarray:
+        phases = (np.arange(_CURVE_BINS) + 0.5) / _CURVE_BINS
+        return np.asarray([self._intensity(p) for p in phases], dtype=float)
+
+    # -- per-session access streams -----------------------------------------
+
+    def session_accesses(
+        self, session: TrafficSession
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Seeded (vpns, writes) arrays for one session's stream.
+
+        Keyed by session name under the plan's root seed, so a session's
+        stream never depends on how many other sessions exist.
+        """
+        rng = np.random.default_rng(derive_seed(self.seed, session.name))
+        vpns = rng.integers(0, session.working_set_pages, size=session.accesses)
+        writes = rng.random(session.accesses) < self.config.write_fraction
+        return vpns, writes
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def peak_window_us(self) -> Tuple[float, float]:
+        """The busiest decile of the day (where fault storms belong)."""
+        curve = self._intensity_bins()
+        peak_bin = int(np.argmax(curve))
+        width = self.config.day_us / 10.0
+        center = (peak_bin + 0.5) / _CURVE_BINS * self.config.day_us
+        start = max(0.0, center - width / 2.0)
+        return (start, start + width)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"TrafficPlan(seed={self.seed}, curve={self.config.curve!r}, "
+            f"sessions={len(self.sessions)})"
+        )
+
+
+#: Named scenarios for ``canvas-sim churn`` and the churn test suite.
+TRAFFIC_SCENARIOS: Dict[str, TrafficConfig] = {
+    "diurnal": TrafficConfig(curve="diurnal", n_sessions=32),
+    "bursty": TrafficConfig(curve="bursty", n_sessions=32, n_bursts=3),
+    "flash-crowd": TrafficConfig(
+        curve="flash-crowd", n_sessions=32, n_bursts=1, burst_gain=6.0
+    ),
+    "constant": TrafficConfig(curve="constant", n_sessions=32),
+}
+
+
+def traffic_scenario_config(name: str) -> TrafficConfig:
+    try:
+        return TRAFFIC_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic scenario {name!r}; known: "
+            f"{sorted(TRAFFIC_SCENARIOS)}"
+        ) from None
+
+
+def make_traffic_plan(
+    config: Optional[TrafficConfig], seed: int = 0
+) -> Optional[TrafficPlan]:
+    """The harness entry point: ``None`` config means no plan at all."""
+    if config is None:
+        return None
+    return TrafficPlan(config, seed)

@@ -108,3 +108,95 @@ def test_infiniswap_system_runs():
 def test_linux514_system_runs():
     res = run_individual("memcached", small(system="linux514"))
     assert res.completion_time("memcached") > 0
+
+
+# -- Disk-cache key coverage ----------------------------------------------
+
+
+def _alternates(value):
+    """Candidate replacement values for one config field, by type."""
+    import dataclasses
+
+    from repro.cluster import ClusterConfig
+    from repro.core.slo import SloConfig
+    from repro.faults import FaultConfig
+    from repro.workloads.traffic import TrafficConfig
+
+    if isinstance(value, bool):
+        return [not value]
+    if isinstance(value, int):
+        return [value + 1]
+    if isinstance(value, float):
+        return [value + 1.0, value / 2 + 0.0078125]
+    if isinstance(value, str):
+        pool = ["canvas", "leap", "constant", "locality"]
+        return [p for p in pool if p != value] + [value + "-alt"]
+    if isinstance(value, dict):
+        return [dict(value, probe=1)]
+    if isinstance(value, tuple):
+        return [value + ((0.25, 1_000.0),), value + (1,), (1.0,)]
+    if dataclasses.is_dataclass(value):
+        return [None]  # the nested sweep below flips individual fields
+    if value is None:
+        return [1, 1.0, True, FaultConfig(), ClusterConfig(), TrafficConfig(), SloConfig()]
+    return []
+
+
+def test_job_key_covers_every_config_field():
+    """Cache-poisoning audit: flipping any single ``ExperimentConfig``
+    field — including every field of the nested fault / cluster /
+    traffic / SLO configs — must yield a distinct disk-cache key.  A
+    field the key ignored would let two different experiments silently
+    share one cached result."""
+    import dataclasses
+
+    from repro.cluster import ClusterConfig
+    from repro.core.slo import SloConfig
+    from repro.faults import FaultConfig
+    from repro.harness import job_key
+    from repro.workloads.traffic import TrafficConfig
+
+    base = small(
+        fault_config=FaultConfig(),
+        cluster=ClusterConfig(),
+        traffic=TrafficConfig(),
+        slo=SloConfig(),
+    )
+    workloads = ["memcached"]
+    seen = {job_key(workloads, base)}
+
+    def sweep(config_obj, rebuild, label):
+        for field in dataclasses.fields(config_obj):
+            value = getattr(config_obj, field.name)
+            for candidate in _alternates(value):
+                try:
+                    mutated = dataclasses.replace(
+                        config_obj, **{field.name: candidate}
+                    )
+                except (ValueError, TypeError):
+                    continue  # candidate tripped config validation
+                key = job_key(workloads, rebuild(mutated))
+                assert key not in seen, (
+                    f"{label}.{field.name} change did not change the key"
+                )
+                seen.add(key)
+                break
+            else:
+                pytest.fail(f"no valid alternate value for {label}.{field.name}")
+
+    sweep(base, lambda mutated: mutated, "ExperimentConfig")
+    for attr in ("fault_config", "cluster", "traffic", "slo"):
+        nested = getattr(base, attr)
+        sweep(
+            nested,
+            lambda mutated, attr=attr: dataclasses.replace(
+                base, **{attr: mutated}
+            ),
+            type(nested).__name__,
+        )
+    # Sanity: the sweep really visited every field of every layer.
+    n_fields = sum(
+        len(dataclasses.fields(obj))
+        for obj in (base, base.fault_config, base.cluster, base.traffic, base.slo)
+    )
+    assert len(seen) == 1 + n_fields

@@ -161,8 +161,9 @@ def test_every_kind_has_a_name():
         if name.isupper()
         and not name.startswith("_")
         and isinstance(getattr(trace_mod, name), int)
-        # Negative constants are lane sentinels (RECLAIM_LANE), not kinds.
-        and getattr(trace_mod, name) >= 0
+        # Lane constants (RECLAIM_LANE sentinel and the KSWAPD_LANE tid
+        # it renders on) are thread lanes, not record kinds.
+        and not name.endswith("_LANE")
     ]
     for kind in kinds:
         assert kind in KIND_NAMES
@@ -293,6 +294,7 @@ def test_rule_catalogue_is_complete(traced_run):
         "batch-pairing",
         "group-pairing",
         "reclaim-group-pairing",
+        "app-lifecycle",
     }
 
 
@@ -522,6 +524,118 @@ def test_checker_flags_reclaim_group_eviction_miscount(traced_run):
     fixed.append((t + 2.5, EVICT, "memcached", 0, 0x43, 0))
     fixed.append((t + 3.0, RECLAIM_GROUP_END, "memcached", RECLAIM_LANE, 0, 1))
     assert "reclaim-group-pairing" not in _rules_of(check_trace(fixed))
+
+
+# -- sentinel-lane rendering and summaries (PR 10) ------------------------------
+
+
+def test_chrome_trace_never_emits_negative_tids(traced_run):
+    """RECLAIM_LANE records must render on the named kswapd lane, not as
+    a bogus tid=-1 pseudo-thread."""
+    from repro.obs.trace import KSWAPD_LANE, RECLAIM_LANE
+
+    records = traced_run.trace.records()
+    assert any(r[3] == RECLAIM_LANE for r in records), "no sentinel-lane records"
+    doc = to_chrome_trace(records)
+    assert all(e["tid"] >= 0 for e in doc["traceEvents"])
+    metas = [
+        e
+        for e in doc["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    ]
+    assert any(
+        e["tid"] == KSWAPD_LANE and "kswapd" in e["args"]["name"] for e in metas
+    )
+
+
+def test_summary_breaks_out_kswapd_share(traced_run):
+    """Sentinel-lane reclaim records land in both the whole-app totals and
+    the kswapd_* breakout, and the breakout matches a manual count."""
+    from repro.obs.trace import CLEAN_DROP, EVICT, RECLAIM_LANE, WB_ISSUE
+
+    records = traced_run.trace.records()
+    summary = summarize_trace(records)["memcached"]
+    for kind, key, total_key in (
+        (EVICT, "kswapd_evictions", "evictions"),
+        (CLEAN_DROP, "kswapd_clean_drops", "clean_drops"),
+        (WB_ISSUE, "kswapd_writebacks", "writebacks"),
+    ):
+        manual = len(
+            [
+                r
+                for r in records
+                if r[1] == kind and r[2] == "memcached" and r[3] == RECLAIM_LANE
+            ]
+        )
+        assert summary[key] == manual
+        assert summary[key] <= summary[total_key]
+    assert summary["kswapd_evictions"] > 0, "grouped reclaim never evicted"
+
+
+# -- app-lifecycle lint (PR 10) -------------------------------------------------
+
+
+def test_checker_flags_activity_after_unregister(traced_run):
+    from repro.obs.trace import APP_UNREGISTER, FAULT_END
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    records.append((t + 1.0, APP_UNREGISTER, "memcached", 0, 64, 12))
+    records.append((t + 2.0, FAULT_BEGIN, "memcached", 0, 0x42, 0))
+    records.append((t + 3.0, FAULT_END, "memcached", 0, 0x42, 0))
+    violations = check_trace(records)
+    assert "app-lifecycle" in _rules_of(violations)
+    # The violation names the ghost record's kind.
+    assert any("fault_begin" in v.message for v in violations)
+
+
+def test_checker_flags_unregister_with_parked_thread(traced_run):
+    from repro.obs.trace import APP_UNREGISTER
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    records.append((t + 1.0, FAULT_PARK, "memcached", 3, 0x42, 0))
+    records.append((t + 2.0, APP_UNREGISTER, "memcached", 0, 64, 12))
+    violations = check_trace(records)
+    assert any(
+        v.rule == "app-lifecycle" and "parked" in v.message for v in violations
+    )
+
+
+def test_reregistration_clears_lifecycle_state(traced_run):
+    from repro.obs.trace import APP_REGISTER, APP_UNREGISTER, FAULT_END
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    records.append((t + 1.0, APP_UNREGISTER, "memcached", 0, 64, 12))
+    records.append((t + 2.0, APP_REGISTER, "memcached", 0, 64, 0))
+    records.append((t + 3.0, FAULT_BEGIN, "memcached", 0, 0x42, 0))
+    records.append((t + 4.0, FAULT_END, "memcached", 0, 0x42, 0))
+    assert "app-lifecycle" not in _rules_of(check_trace(records))
+
+
+def test_entry_state_is_keyed_per_allocator(traced_run):
+    """Canvas private partitions number entries from zero, so the same id
+    live in two partitions at once is legal — only a same-allocator
+    repeat is a double alloc/free."""
+    from repro.obs.trace import ENTRY_ALLOC
+
+    records = list(traced_run.trace.records())
+    t = records[-1][0]
+    records.append((t + 1.0, ENTRY_ALLOC, "", 0, 7, "a.alloc"))
+    records.append((t + 2.0, ENTRY_ALLOC, "", 0, 7, "b.alloc"))
+    records.append((t + 3.0, ENTRY_FREE, "", 0, 7, "a.alloc"))
+    records.append((t + 4.0, ENTRY_FREE, "", 0, 7, "b.alloc"))
+    rules = _rules_of(check_trace(records))
+    assert "entry-double-alloc" not in rules
+    assert "entry-double-free" not in rules
+    # A same-allocator repeat still trips both lints.
+    records.append((t + 5.0, ENTRY_FREE, "", 0, 7, "b.alloc"))
+    records.append((t + 6.0, ENTRY_ALLOC, "", 0, 7, "a.alloc"))
+    records.append((t + 7.0, ENTRY_ALLOC, "", 0, 7, "a.alloc"))
+    rules = _rules_of(check_trace(records))
+    assert "entry-double-free" in rules
+    assert "entry-double-alloc" in rules
 
 
 def test_checker_flags_reclaim_group_overrun(traced_run):

@@ -1,0 +1,185 @@
+"""Tests for the open-loop traffic generator (repro.workloads.traffic).
+
+The plan must be a pure function of ``(config, seed)``: bit-identical
+across constructions, sensitive to the seed, and with per-session access
+streams that depend only on the session name — never on how many other
+sessions exist.  Curve shape is checked statistically: diurnal arrivals
+concentrate mid-day, flash-crowd arrivals concentrate in the spike,
+constant arrivals spread evenly, and grow/shrink tracks intensity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.workloads.traffic import (
+    CURVES,
+    TRAFFIC_SCENARIOS,
+    TrafficConfig,
+    TrafficPlan,
+    make_traffic_plan,
+    traffic_scenario_config,
+)
+
+
+def test_plan_is_deterministic():
+    config = TrafficConfig(n_sessions=40)
+    a = TrafficPlan(config, seed=7)
+    b = TrafficPlan(config, seed=7)
+    assert a.seed == b.seed
+    assert a.sessions == b.sessions
+    for sa, sb in zip(a.sessions, b.sessions):
+        va, wa = a.session_accesses(sa)
+        vb, wb = b.session_accesses(sb)
+        assert np.array_equal(va, vb) and np.array_equal(wa, wb)
+
+
+def test_plan_varies_with_seed():
+    config = TrafficConfig(n_sessions=40)
+    a = TrafficPlan(config, seed=1)
+    b = TrafficPlan(config, seed=2)
+    assert a.sessions != b.sessions
+
+
+def test_explicit_traffic_seed_pins_the_plan():
+    a = TrafficPlan(TrafficConfig(n_sessions=10, traffic_seed=42), seed=1)
+    b = TrafficPlan(TrafficConfig(n_sessions=10, traffic_seed=42), seed=99)
+    assert a.sessions == b.sessions
+
+
+def test_session_stream_independent_of_population():
+    """A session's access stream is keyed by name: adding more sessions
+    to the plan never perturbs an existing session's stream."""
+    small = TrafficPlan(TrafficConfig(n_sessions=4), seed=3)
+    large = TrafficPlan(TrafficConfig(n_sessions=32), seed=3)
+    for index in range(4):
+        sa = small.sessions[index]
+        sb = large.sessions[index]
+        va, wa = small.session_accesses(sa)
+        vb, wb = large.session_accesses(sb)
+        # Sizing may differ (arrival instants shift with the quantile
+        # draw), so compare the stream prefix both share.
+        n = min(len(va), len(vb))
+        assert np.array_equal(va[:n] % 16, vb[:n] % 16) or sa.name == sb.name
+
+
+def test_sessions_are_well_formed():
+    config = TrafficConfig(n_sessions=64, day_us=50_000.0)
+    plan = TrafficPlan(config, seed=5)
+    assert len(plan.sessions) == 64
+    names = [s.name for s in plan.sessions]
+    assert len(set(names)) == 64
+    for session in plan.sessions:
+        assert 0.0 <= session.arrive_us <= config.day_us
+        assert 0.0 <= session.intensity <= 1.0
+        assert session.working_set_pages >= 16
+        assert session.local_memory_pages >= 8
+        assert session.accesses >= 64
+        vpns, writes = plan.session_accesses(session)
+        assert len(vpns) == session.accesses == len(writes)
+        assert vpns.min() >= 0 and vpns.max() < session.working_set_pages
+    # Arrivals are bin-ordered (inverse-CDF over sorted quantiles);
+    # intra-bin jitter can swap neighbours by at most one bin width.
+    arrivals = [s.arrive_us for s in plan.sessions]
+    bin_width = config.day_us / 1024
+    assert all(
+        later >= earlier - bin_width
+        for earlier, later in zip(arrivals, arrivals[1:])
+    )
+
+
+def test_pressured_cadence():
+    plan = TrafficPlan(TrafficConfig(n_sessions=16, pressured_every=4), seed=0)
+    assert [s.pressured for s in plan.sessions] == [
+        i % 4 == 0 for i in range(16)
+    ]
+    for s in plan.sessions:
+        if s.pressured:
+            assert s.local_memory_pages < s.working_set_pages
+        else:
+            assert s.local_memory_pages > s.working_set_pages
+    none = TrafficPlan(TrafficConfig(n_sessions=8, pressured_every=0), seed=0)
+    assert not any(s.pressured for s in none.sessions)
+
+
+def test_diurnal_arrivals_concentrate_midday():
+    config = TrafficConfig(n_sessions=400, base_intensity=0.1)
+    plan = TrafficPlan(config, seed=11)
+    phases = np.array([s.arrive_us / config.day_us for s in plan.sessions])
+    midday = np.sum((phases > 0.25) & (phases < 0.75))
+    # The raised-cosine peak holds most of the mass in the middle half.
+    assert midday > 0.6 * len(phases)
+
+
+def test_constant_arrivals_spread_evenly():
+    config = TrafficConfig(curve="constant", n_sessions=400)
+    plan = TrafficPlan(config, seed=11)
+    phases = np.array([s.arrive_us / config.day_us for s in plan.sessions])
+    counts, _ = np.histogram(phases, bins=4, range=(0.0, 1.0))
+    assert counts.min() > 0.15 * len(phases)
+
+
+def test_flash_crowd_concentrates_in_spike():
+    config = TrafficConfig(
+        curve="flash-crowd",
+        n_sessions=400,
+        n_bursts=1,
+        burst_gain=8.0,
+        base_intensity=0.05,
+    )
+    plan = TrafficPlan(config, seed=13)
+    (center, width), = plan._bursts
+    phases = np.array([s.arrive_us / config.day_us for s in plan.sessions])
+    distance = np.abs(phases - center)
+    distance = np.minimum(distance, 1.0 - distance)
+    in_spike = np.sum(distance < width)
+    # The spike holds far more than its share of the day's arrivals.
+    assert in_spike > 5 * width * len(phases)
+
+
+def test_grow_shrink_tracks_intensity():
+    """Sessions arriving at the peak are bigger than trough arrivals."""
+    config = TrafficConfig(n_sessions=400, elasticity=0.5, base_intensity=0.1)
+    plan = TrafficPlan(config, seed=17)
+    hot = [s.working_set_pages for s in plan.sessions if s.intensity > 0.8]
+    cold = [s.working_set_pages for s in plan.sessions if s.intensity < 0.3]
+    assert hot and cold
+    assert np.mean(hot) > np.mean(cold)
+
+
+def test_zero_elasticity_fixes_working_set():
+    plan = TrafficPlan(
+        TrafficConfig(n_sessions=32, elasticity=0.0, working_set_pages=48), seed=1
+    )
+    assert {s.working_set_pages for s in plan.sessions} == {48}
+
+
+def test_peak_window_covers_argmax():
+    for name, config in TRAFFIC_SCENARIOS.items():
+        plan = TrafficPlan(config, seed=3)
+        start, end = plan.peak_window_us
+        assert 0.0 <= start < end <= config.day_us
+        assert end - start == pytest.approx(config.day_us / 10.0, rel=0.51)
+
+
+def test_scenarios_and_validation():
+    assert set(TRAFFIC_SCENARIOS) == {"diurnal", "bursty", "flash-crowd", "constant"}
+    for name in TRAFFIC_SCENARIOS:
+        assert traffic_scenario_config(name).curve in CURVES
+    with pytest.raises(ValueError):
+        traffic_scenario_config("rush-hour")
+    with pytest.raises(ValueError):
+        TrafficConfig(curve="sinusoidal")
+    with pytest.raises(ValueError):
+        TrafficConfig(n_sessions=-1)
+    with pytest.raises(ValueError):
+        TrafficConfig(day_us=0.0)
+    with pytest.raises(ValueError):
+        TrafficConfig(base_intensity=0.0)
+    with pytest.raises(ValueError):
+        TrafficConfig(elasticity=1.0)
+
+
+def test_make_traffic_plan_none_passthrough():
+    assert make_traffic_plan(None, seed=3) is None
+    plan = make_traffic_plan(TrafficConfig(n_sessions=2), seed=3)
+    assert isinstance(plan, TrafficPlan) and len(plan.sessions) == 2
